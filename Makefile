@@ -1,0 +1,31 @@
+# Convenience targets for the Direct Mesh reproduction.
+
+PYTHON ?= python3
+
+.PHONY: install test test-fast bench report examples clean
+
+install:
+	$(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+test-fast:
+	$(PYTHON) -m pytest tests/ -m "not slow"
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+report:
+	$(PYTHON) -m repro.bench.report results results/report.md
+
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/flyover.py 4
+	$(PYTHON) examples/compare_methods.py
+	$(PYTHON) examples/dem_pipeline.py
+	$(PYTHON) examples/streaming_client.py 6
+
+clean:
+	rm -rf .data .pytest_cache .hypothesis results
+	find . -name __pycache__ -type d -exec rm -rf {} +

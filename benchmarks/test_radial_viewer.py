@@ -1,0 +1,89 @@
+"""Extension experiment: the radial viewer model (``f(m.e, d) <= E``).
+
+The paper presents its viewpoint-dependent machinery with a planar LOD
+ramp for simplicity; the underlying viewer model it cites is
+distance-based.  This experiment runs the literal radial field through
+the same processors and checks the paper's conclusions carry over:
+multi-base still wins, PM still pays the traversal tax.
+"""
+
+from benchmarks.conftest import emit
+from repro.bench.reporting import SeriesTable
+from repro.bench.runner import average_over
+from repro.geometry.plane import RadialLodField
+
+
+def test_radial_viewer_costs(benchmark, env_2m, workload_2m):
+    env = env_2m
+    ds = env.dataset
+
+    def measure_at(center, roi_fraction):
+        roi = workload_2m.roi(roi_fraction, center)
+        field = RadialLodField(
+            roi,
+            viewer=(roi.center.x, roi.min_y - roi.height * 0.05),
+            rate=ds.pm.max_lod() / (roi.height * 3),
+            e_min=ds.pm.lod_percentile(0.5),
+            e_max=ds.pm.max_lod(),
+        )
+        db = env.database
+        out = {}
+        db.begin_measured_query()
+        env.dm.single_base_query(field)
+        out["DM-SB"] = db.disk_accesses
+        db.begin_measured_query()
+        env.dm.multi_base_query(field)
+        out["DM-MB"] = db.disk_accesses
+        db.begin_measured_query()
+        env.pm_store.viewdep_query(field)
+        out["PM"] = db.disk_accesses
+        return out
+
+    def run():
+        table = SeriesTable(
+            "ext_radial",
+            "radial viewer model: DA by ROI",
+            "roi_pct",
+            ["DM-SB", "DM-MB", "PM"],
+            meta={"dataset": ds.name, "n_points": ds.n_points},
+        )
+        centers = workload_2m.centers()[:10]
+        for fraction in (0.05, 0.10, 0.20):
+            table.add_row(
+                fraction * 100,
+                average_over(
+                    centers, lambda c: measure_at(c, fraction)
+                ),
+            )
+        return table
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(table)
+    assert table.dominates("DM-MB", "PM", at_least=1.5)
+    for _, row in table.rows:
+        assert row["DM-MB"] <= row["DM-SB"] * 1.05
+
+
+def test_radial_equals_reference(benchmark, env_2m, workload_2m):
+    """Correctness under the radial model at bench scale."""
+    from repro.mesh.selective import viewdep_query_ref
+
+    env = env_2m
+    ds = env.dataset
+
+    def run():
+        center = workload_2m.centers()[3]
+        roi = workload_2m.roi(0.10, center)
+        field = RadialLodField(
+            roi,
+            viewer=(roi.center.x, roi.min_y),
+            rate=ds.pm.max_lod() / (roi.height * 2),
+            e_min=ds.pm.lod_percentile(0.4),
+            e_max=ds.pm.max_lod(),
+        )
+        result = env.dm.multi_base_query(field)
+        reference = viewdep_query_ref(ds.pm, field)
+        return set(result.nodes), reference
+
+    got, want = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert got == want

@@ -1,0 +1,83 @@
+"""Benchmark: progressive streaming sessions (extension experiment).
+
+Simulates a viewer walking across the 2M-analog terrain with a radial
+LOD field, comparing the delta protocol of
+:class:`~repro.core.streaming.TerrainSession` against a stateless
+server that retransmits every frame.  Asserts the headline property:
+small camera steps produce low churn, so the cumulative delta payload
+is a fraction of stateless retransmission.
+"""
+
+from benchmarks.conftest import emit
+from repro.bench.reporting import SeriesTable
+from repro.core.streaming import TerrainSession
+from repro.geometry.plane import RadialLodField
+from repro.geometry.primitives import Rect
+from repro.storage.record import dm_record_size
+
+
+def test_streaming_churn_vs_step(benchmark, env_2m, workload_2m):
+    env = env_2m
+    ds = env.dataset
+    bounds = ds.bounds()
+    roi_h = bounds.height * 0.4
+    roi_w = bounds.width * 0.4
+    e_min = ds.pm.lod_percentile(0.85)
+    e_max = ds.pm.max_lod()
+    rate = e_max / (roi_h * 8)
+
+    def view_at(vy: float) -> RadialLodField:
+        roi = Rect(
+            bounds.center.x - roi_w / 2,
+            vy,
+            bounds.center.x + roi_w / 2,
+            vy + roi_h,
+        )
+        return RadialLodField(
+            roi, (bounds.center.x, vy), rate, e_min, e_max
+        )
+
+    def run():
+        table = SeriesTable(
+            "ext_streaming",
+            "delta streaming: churn and payload vs camera step size",
+            "step_pct_of_view",
+            ["avg_churn_pct", "delta_bytes", "stateless_bytes"],
+        )
+        for step_fraction in (0.02, 0.05, 0.10, 0.25):
+            session = TerrainSession(env.dm)
+            vy = bounds.min_y
+            session.update(view_at(vy))  # Prime the client.
+            churn_total = 0.0
+            delta_bytes = 0
+            stateless_bytes = 0
+            n_steps = 6
+            for _ in range(n_steps):
+                vy += roi_h * step_fraction
+                delta = session.update(view_at(vy))
+                churn_total += delta.churn
+                delta_bytes += delta.bytes_added + 8 * len(delta.removed)
+                stateless_bytes += sum(
+                    dm_record_size(len(r.connections))
+                    for r in (
+                        session._active.values()  # Frame contents.
+                    )
+                )
+            table.add_row(
+                step_fraction * 100,
+                {
+                    "avg_churn_pct": round(100 * churn_total / n_steps, 1),
+                    "delta_bytes": delta_bytes,
+                    "stateless_bytes": stateless_bytes,
+                },
+            )
+        return table
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(table)
+    # Churn grows with step size.
+    churns = table.column("avg_churn_pct")
+    assert churns[0] < churns[-1]
+    # Small steps: deltas are a small fraction of stateless transfer.
+    first = table.rows[0][1]
+    assert first["delta_bytes"] < first["stateless_bytes"] * 0.5

@@ -1,0 +1,23 @@
+"""Legacy setup shim.
+
+The offline build environment lacks the ``wheel`` package, so PEP 517
+editable installs fail with ``invalid command 'bdist_wheel'``.  Keeping
+a ``setup.py`` (and omitting ``[build-system]`` from pyproject.toml)
+lets ``pip install -e .`` fall back to the legacy editable install,
+which needs only setuptools.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Direct Mesh: a Multiresolution Approach to "
+        "Terrain Visualization' (ICDE 2004)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.23"],
+)

@@ -1,0 +1,17 @@
+"""Reproduction of *Direct Mesh: a Multiresolution Approach to Terrain
+Visualization* (Kai Xu, Xiaofang Zhou, Xuemin Lin -- ICDE 2004).
+
+The package implements the paper's contribution -- the Direct Mesh (DM)
+multiresolution terrain structure with database-backed query processing
+-- together with every substrate it depends on: a triangular-mesh and
+progressive-mesh (PM) library, a page/buffer storage engine with
+disk-access accounting, spatial indexes (R*-tree, LOD-quadtree,
+LOD-R-tree, HDoV-tree, B+-tree), baseline query processors, and the
+benchmark harness that regenerates the paper's figures.
+
+See ``examples/quickstart.py`` for a complete walk-through.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,12 @@
+"""Baseline query processors the paper compares against.
+
+* :class:`~repro.baselines.pm_db.PMStore` — progressive mesh over the
+  database with LOD-quadtree indexing and per-node B+-tree fetches
+  (the paper's "PM" series);
+* the HDoV-tree lives in :mod:`repro.index.hdov` (it is both an index
+  and its own query processor, as in the original system).
+"""
+
+from repro.baselines.pm_db import PMQueryResult, PMStore
+
+__all__ = ["PMQueryResult", "PMStore"]

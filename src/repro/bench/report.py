@@ -1,0 +1,104 @@
+"""Assemble ``results/*.csv`` into one markdown report.
+
+After a benchmark run, every experiment leaves a CSV in ``results/``.
+``python -m repro.bench.report [results_dir] [output.md]`` stitches
+them into a single document — the machine-generated companion to the
+hand-written EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import csv
+import sys
+from pathlib import Path
+
+__all__ = ["build_report", "main"]
+
+#: Display order and titles; unknown experiments are appended at the end.
+_KNOWN = [
+    ("fig6a", "Figure 6(a) — uniform mesh, varying ROI, 2M-analog"),
+    ("fig6b", "Figure 6(b) — uniform mesh, varying LOD, 2M-analog"),
+    ("fig6c", "Figure 6(c) — uniform mesh, varying ROI, 17M-analog"),
+    ("fig6d", "Figure 6(d) — uniform mesh, varying LOD, 17M-analog"),
+    ("fig8a", "Figure 8(a) — viewpoint-dependent, varying ROI, 2M-analog"),
+    ("fig8b", "Figure 8(b) — viewpoint-dependent, varying e_min, 2M-analog"),
+    ("fig8c", "Figure 8(c) — viewpoint-dependent, varying angle, 2M-analog"),
+    ("fig8d", "Figure 8(d) — viewpoint-dependent, varying ROI, 17M-analog"),
+    ("fig8e", "Figure 8(e) — viewpoint-dependent, varying e_min, 17M-analog"),
+    ("fig8f", "Figure 8(f) — viewpoint-dependent, varying angle, 17M-analog"),
+    ("tab_conn", "Section 4 statistics — connection points per node"),
+    ("tab_storage_2m", "Storage per node — 2M-analog"),
+    ("tab_storage_17m", "Storage per node — 17M-analog"),
+    ("abl_multibase", "Ablation — multi-base strip count"),
+    ("abl_middle_split", "Ablation — split position (formula 9)"),
+    ("abl_planner", "Ablation — planner vs forced single-base"),
+    ("abl_buffer", "Ablation — cold vs warm buffer"),
+    ("abl_pool_size", "Ablation — buffer pool capacity"),
+    ("abl_clustering", "Ablation — heap clustering order"),
+    ("abl_compression", "Ablation — connection-list compression"),
+    ("abl_access_pattern", "Ablation — physical read patterns"),
+    ("abl_visibility", "Ablation — HDoV visibility machinery"),
+    ("ext_streaming", "Extension — delta streaming"),
+    ("ext_quality", "Extension — quality / disk-access frontier"),
+    ("ext_radial", "Extension — radial viewer model"),
+]
+
+
+def _csv_to_markdown(path: Path) -> str:
+    with open(path, newline="", encoding="ascii") as f:
+        rows = list(csv.reader(f))
+    if not rows:
+        return "*(empty)*"
+    header, *data = rows
+    lines = [
+        "| " + " | ".join(header) + " |",
+        "|" + "---|" * len(header),
+    ]
+    for row in data:
+        lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines)
+
+
+def build_report(results_dir: str | Path = "results") -> str:
+    """The assembled markdown text (empty-results tolerant)."""
+    results_dir = Path(results_dir)
+    available = {p.stem: p for p in sorted(results_dir.glob("*.csv"))}
+    sections: list[str] = [
+        "# Benchmark results",
+        "",
+        "Generated from the CSV files a `pytest benchmarks/"
+        " --benchmark-only` run writes into `results/`.  Values are"
+        " disk accesses unless a column says otherwise; see"
+        " EXPERIMENTS.md for the paper-vs-measured discussion.",
+    ]
+    ordered = [key for key, _ in _KNOWN if key in available]
+    extras = [key for key in available if key not in dict(_KNOWN)]
+    titles = dict(_KNOWN)
+    for key in ordered + sorted(extras):
+        sections.append("")
+        sections.append(f"## {titles.get(key, key)}")
+        sections.append("")
+        sections.append(_csv_to_markdown(available[key]))
+    if not available:
+        sections.append("")
+        sections.append(
+            "*(no CSVs found — run the benchmarks first)*"
+        )
+    return "\n".join(sections) + "\n"
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry: ``python -m repro.bench.report [dir] [out.md]``."""
+    args = sys.argv[1:] if argv is None else argv
+    results_dir = args[0] if args else "results"
+    report = build_report(results_dir)
+    if len(args) > 1:
+        Path(args[1]).write_text(report, encoding="utf-8")
+        print(f"wrote {args[1]}")
+    else:
+        print(report)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,118 @@
+"""Result tables: the textual form of the paper's figures.
+
+Each experiment produces a :class:`SeriesTable` — one row per x value,
+one column per method — matching the paper's plots (x axis vs number
+of disk accesses).  Tables print aligned text and write CSV into
+``results/``.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = ["SeriesTable"]
+
+
+@dataclass
+class SeriesTable:
+    """One experiment's output series.
+
+    Attributes:
+        experiment: identifier, e.g. ``"fig6a"``.
+        title: human description.
+        x_label: the swept parameter.
+        columns: method names in display order.
+        rows: ``(x_value, {method: value})`` pairs.
+        meta: free-form provenance (dataset size, locations, ...).
+    """
+
+    experiment: str
+    title: str
+    x_label: str
+    columns: list[str]
+    rows: list[tuple[float, dict[str, float]]] = field(default_factory=list)
+    meta: dict[str, object] = field(default_factory=dict)
+
+    def add_row(self, x: float, values: dict[str, float]) -> None:
+        """Append one x-value's measurements."""
+        self.rows.append((x, values))
+
+    def column(self, name: str) -> list[float]:
+        """One method's series, in row order."""
+        return [values[name] for _, values in self.rows]
+
+    def x_values(self) -> list[float]:
+        """The swept x values, in row order."""
+        return [x for x, _ in self.rows]
+
+    # -- output -----------------------------------------------------------
+
+    def to_text(self) -> str:
+        """An aligned, human-readable table."""
+        header = [self.x_label] + self.columns
+        widths = [max(12, len(h) + 2) for h in header]
+        lines = [
+            f"{self.experiment}: {self.title}",
+            "  " + "".join(h.ljust(w) for h, w in zip(header, widths)),
+            "  " + "-" * (sum(widths)),
+        ]
+        for x, values in self.rows:
+            cells = [_fmt(x)] + [_fmt(values.get(c)) for c in self.columns]
+            lines.append(
+                "  " + "".join(c.ljust(w) for c, w in zip(cells, widths))
+            )
+        if self.meta:
+            meta = ", ".join(f"{k}={v}" for k, v in sorted(self.meta.items()))
+            lines.append(f"  [{meta}]")
+        return "\n".join(lines)
+
+    def to_csv(self, directory: str | Path = "results") -> Path:
+        """Write ``<experiment>.csv`` under ``directory``."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / f"{self.experiment}.csv"
+        with open(path, "w", newline="", encoding="ascii") as f:
+            writer = csv.writer(f)
+            writer.writerow([self.x_label] + self.columns)
+            for x, values in self.rows:
+                writer.writerow([x] + [values.get(c, "") for c in self.columns])
+        return path
+
+    # -- shape checks (used by benchmark assertions) ------------------------------
+
+    def dominates(self, winner: str, loser: str, at_least: float = 1.0) -> bool:
+        """True if ``winner``'s value is <= ``loser``'s / ``at_least``
+        at every x (DA: lower is better)."""
+        for _, values in self.rows:
+            if winner not in values or loser not in values:
+                return False
+            if values[winner] > values[loser] / at_least:
+                return False
+        return True
+
+    def is_monotonic(self, name: str, increasing: bool = True,
+                     tolerance: float = 0.15) -> bool:
+        """True if the series trends in one direction (small
+        ``tolerance`` fraction of local backsliding allowed)."""
+        series = self.column(name)
+        if len(series) < 2:
+            return True
+        violations = 0
+        for a, b in zip(series, series[1:]):
+            if increasing and b < a * (1 - tolerance):
+                violations += 1
+            if not increasing and b > a * (1 + tolerance):
+                violations += 1
+        return violations == 0
+
+
+def _fmt(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value == int(value) and abs(value) < 1e9:
+            return str(int(value))
+        return f"{value:.3g}"
+    return str(value)

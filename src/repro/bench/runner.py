@@ -1,0 +1,72 @@
+"""Measurement driver: run each method cold and count disk accesses.
+
+The protocol per measurement mirrors the paper: flush the buffer,
+reset the counters, run the query, read the physical-read count from
+the statistics report.  Each (x value) is averaged over the workload's
+random locations.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.bench.cache import ExperimentEnv
+from repro.geometry.plane import QueryPlane
+from repro.geometry.primitives import Rect
+
+__all__ = [
+    "UNIFORM_METHODS",
+    "VIEWDEP_METHODS",
+    "measure_uniform",
+    "measure_viewdep",
+    "average_over",
+]
+
+#: Method display order for viewpoint-independent experiments
+#: (paper Figure 6; SB is the only DM variant applicable).
+UNIFORM_METHODS = ["DM", "PM", "HDoV"]
+
+#: Method display order for viewpoint-dependent experiments (Figure 8).
+VIEWDEP_METHODS = ["DM-SB", "DM-MB", "PM", "HDoV"]
+
+
+def _cold(env: ExperimentEnv, run: Callable[[], object]) -> int:
+    """Run ``run`` against a flushed buffer; return disk accesses."""
+    env.database.begin_measured_query()
+    run()
+    return env.database.disk_accesses
+
+
+def measure_uniform(
+    env: ExperimentEnv, roi: Rect, lod: float
+) -> dict[str, float]:
+    """Disk accesses of one viewpoint-independent query, per method."""
+    return {
+        "DM": _cold(env, lambda: env.dm.uniform_query(roi, lod)),
+        "PM": _cold(env, lambda: env.pm_store.uniform_query(roi, lod)),
+        "HDoV": _cold(env, lambda: env.hdov.uniform_query(roi, lod)),
+    }
+
+
+def measure_viewdep(
+    env: ExperimentEnv, plane: QueryPlane
+) -> dict[str, float]:
+    """Disk accesses of one viewpoint-dependent query, per method."""
+    return {
+        "DM-SB": _cold(env, lambda: env.dm.single_base_query(plane)),
+        "DM-MB": _cold(env, lambda: env.dm.multi_base_query(plane)),
+        "PM": _cold(env, lambda: env.pm_store.viewdep_query(plane)),
+        "HDoV": _cold(env, lambda: env.hdov.viewdep_query(plane)),
+    }
+
+
+def average_over(
+    centers: list[tuple[float, float]],
+    measure: Callable[[tuple[float, float]], dict[str, float]],
+) -> dict[str, float]:
+    """Run ``measure`` at every centre and average each method."""
+    totals: dict[str, float] = {}
+    for center in centers:
+        for method, value in measure(center).items():
+            totals[method] = totals.get(method, 0.0) + value
+    return {m: v / len(centers) for m, v in totals.items()}

@@ -1,0 +1,113 @@
+"""Workload generation for the paper's experiments.
+
+The paper's methodology (Section 6): every measurement is "the average
+value of creating the same mesh (same ROI and LOD) at 20
+randomly-selected locations", the ROI is a percentage of the dataset
+area, the LOD a percentage of the dataset maximum, and
+viewpoint-dependent queries add the *angle* parameter with maximum
+``theta_max = arctan(LOD_max / ROI)`` (Figure 7).
+
+Sweep ranges follow the paper: ROI up to ~20% (2M) / ~10% (17M) "to
+allow for a mesh with reasonable data density"; LOD "range that
+contains substantial number of points"; angle as a percentage of
+``theta_max`` with ``e_min`` fixed at 1% for the angle sweep.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from repro.geometry.plane import QueryPlane, max_angle
+from repro.geometry.primitives import Rect
+from repro.terrain.datasets import TerrainDataset
+
+__all__ = [
+    "Workload",
+    "DEFAULT_LOCATIONS",
+    "ROI_SWEEP_2M",
+    "ROI_SWEEP_17M",
+    "LOD_SWEEP",
+    "ANGLE_SWEEP",
+]
+
+#: The paper averages over 20 random locations.
+DEFAULT_LOCATIONS = 20
+
+#: ROI sizes as fractions of dataset area (paper Figure 6(a)/(c)).
+ROI_SWEEP_2M = [0.025, 0.05, 0.10, 0.15, 0.20]
+ROI_SWEEP_17M = [0.01, 0.025, 0.05, 0.075, 0.10]
+
+#: LOD values as fractions of the dataset maximum (Figure 6(b)/(d)).
+LOD_SWEEP = [0.01, 0.02, 0.05, 0.10, 0.20, 0.50]
+
+#: Angles as fractions of theta_max (Figure 8(c)/(f)).
+ANGLE_SWEEP = [0.1, 0.25, 0.5, 0.75, 0.9]
+
+#: Fixed parameters the paper uses elsewhere in the sweeps.
+FIXED_ROI_2M = 0.10  # Figure 6(b): "ROI is set to 10% for the 2M dataset".
+FIXED_ROI_17M = 0.05  # "and 5% for the 17M dataset".
+FIXED_ANGLE_FRACTION = 0.5  # Figure 8(a)/(b): "half the value of theta_max".
+FIXED_EMIN_FRACTION = 0.01  # Figure 8(c): "e_min is set to 1%".
+
+
+@dataclass
+class Workload:
+    """Seeded query-location generator for one dataset."""
+
+    dataset: TerrainDataset
+    n_locations: int = DEFAULT_LOCATIONS
+    seed: int = 1234
+
+    def centers(self) -> list[tuple[float, float]]:
+        """The random query centres (deterministic for the seed)."""
+        rng = random.Random(self.seed)
+        bounds = self.dataset.bounds()
+        return [
+            (
+                rng.uniform(bounds.min_x, bounds.max_x),
+                rng.uniform(bounds.min_y, bounds.max_y),
+            )
+            for _ in range(self.n_locations)
+        ]
+
+    # -- query construction -------------------------------------------------
+
+    def roi(self, fraction: float, center: tuple[float, float]) -> Rect:
+        """A square ROI of ``fraction`` of the dataset area."""
+        return self.dataset.roi_for_fraction(fraction, *center)
+
+    def uniform_lod(self, fraction_of_max: float) -> float:
+        """A LOD value as a fraction of the dataset maximum."""
+        return self.dataset.pm.max_lod() * fraction_of_max
+
+    def average_lod(self) -> float:
+        """The dataset's average LOD (used by the ROI sweeps)."""
+        return self.dataset.pm.average_lod()
+
+    def theta_max(self, roi: Rect) -> float:
+        """Paper Figure 7: ``arctan(LOD_max / ROI extent)``."""
+        return max_angle(self.dataset.pm.max_lod(), roi.height)
+
+    def plane(
+        self,
+        roi: Rect,
+        e_min: float,
+        angle_fraction: float,
+    ) -> QueryPlane:
+        """A viewpoint-dependent query plane.
+
+        ``angle_fraction`` scales ``theta_max``; the viewer looks along
+        +y (the paper's simplifying presentation; the processors accept
+        arbitrary directions).
+        """
+        angle = self.theta_max(roi) * angle_fraction
+        angle = min(angle, math.pi / 2 - 1e-6)
+        plane = QueryPlane.from_angle(roi, e_min, angle)
+        # Clamp e_max to just above the dataset maximum: a taller cube
+        # retrieves nothing extra and distorts cost-model estimates.
+        cap = self.dataset.pm.max_lod() * 1.01
+        if plane.e_max > cap:
+            plane = QueryPlane(roi, e_min, cap, plane.direction)
+        return plane

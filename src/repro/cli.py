@@ -1,0 +1,275 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``build``   — generate (or load) a terrain, build the multiresolution
+  store into a database directory;
+* ``query``   — run a viewpoint-independent query against a built
+  database and export/render the resulting mesh;
+* ``viewdep`` — run a viewpoint-dependent (tilted-plane) query;
+* ``info``    — describe a built database (segments, pages, metadata).
+
+The CLI is a thin veneer over the public API; anything beyond quick
+inspection should use the library directly (see ``examples/``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.core import DirectMeshStore, build_connection_lists
+from repro.errors import ReproError
+from repro.geometry.plane import QueryPlane
+from repro.geometry.primitives import Rect
+from repro.mesh import SimplifyConfig, simplify_to_pm
+from repro.storage import Database
+from repro.terrain import DEM, dataset_by_name, read_esri_ascii, write_obj
+from repro.viz import render_points
+
+__all__ = ["main"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Direct Mesh multiresolution terrain store (ICDE'04 reproduction)",
+    )
+    sub = parser.add_subparsers(required=True)
+
+    build = sub.add_parser("build", help="build a terrain database")
+    build.add_argument("database", help="database directory to create")
+    source = build.add_mutually_exclusive_group()
+    source.add_argument(
+        "--dataset",
+        choices=["foothills", "crater"],
+        default="foothills",
+        help="synthetic dataset to generate",
+    )
+    source.add_argument(
+        "--dem", metavar="FILE", help="ESRI ASCII raster to ingest instead"
+    )
+    source.add_argument(
+        "--from-pm",
+        metavar="FILE",
+        help="load a prebuilt progressive mesh (.pmz) instead of simplifying",
+    )
+    build.add_argument(
+        "--points", type=int, default=10_000, help="terrain sample count"
+    )
+    build.add_argument("--seed", type=int, default=0)
+    build.add_argument(
+        "--compress",
+        action="store_true",
+        help="store connection lists delta+varint compressed",
+    )
+    build.add_argument(
+        "--save-pm",
+        metavar="FILE",
+        help="also save the progressive mesh as a .pmz interchange file",
+    )
+    build.set_defaults(handler=_cmd_build)
+
+    query = sub.add_parser("query", help="viewpoint-independent query")
+    query.add_argument("database")
+    query.add_argument(
+        "--roi",
+        type=float,
+        nargs=4,
+        metavar=("MINX", "MINY", "MAXX", "MAXY"),
+        help="region of interest (defaults to the full extent)",
+    )
+    query.add_argument(
+        "--lod",
+        type=float,
+        required=True,
+        help="LOD threshold (approximation-error units)",
+    )
+    query.add_argument("--obj", metavar="FILE", help="export mesh as OBJ")
+    query.add_argument(
+        "--render", action="store_true", help="ASCII-render the result"
+    )
+    query.set_defaults(handler=_cmd_query)
+
+    viewdep = sub.add_parser("viewdep", help="viewpoint-dependent query")
+    viewdep.add_argument("database")
+    viewdep.add_argument("--roi", type=float, nargs=4, required=True,
+                         metavar=("MINX", "MINY", "MAXX", "MAXY"))
+    viewdep.add_argument("--emin", type=float, required=True)
+    viewdep.add_argument("--emax", type=float, required=True)
+    viewdep.add_argument(
+        "--direction", type=float, nargs=2, default=(0.0, 1.0),
+        metavar=("DX", "DY"),
+        help="unit vector pointing away from the viewer",
+    )
+    viewdep.add_argument("--obj", metavar="FILE")
+    viewdep.add_argument("--render", action="store_true")
+    viewdep.set_defaults(handler=_cmd_viewdep)
+
+    exp = sub.add_parser(
+        "explain", help="show the query plan (and optionally execute)"
+    )
+    exp.add_argument("database")
+    exp.add_argument("--roi", type=float, nargs=4, required=True,
+                     metavar=("MINX", "MINY", "MAXX", "MAXY"))
+    exp.add_argument("--lod", type=float, help="uniform LOD")
+    exp.add_argument("--emin", type=float, help="viewpoint-dependent e_min")
+    exp.add_argument("--emax", type=float, help="viewpoint-dependent e_max")
+    exp.add_argument("--execute", action="store_true",
+                     help="run the query and attach actual counters")
+    exp.set_defaults(handler=_cmd_explain)
+
+    info = sub.add_parser("info", help="describe a built database")
+    info.add_argument("database")
+    info.add_argument(
+        "--verify",
+        action="store_true",
+        help="run integrity verification across heap/index/btree",
+    )
+    info.set_defaults(handler=_cmd_info)
+    return parser
+
+
+def _cmd_build(args) -> int:
+    if args.from_pm:
+        from repro.mesh.pmfile import load_pm
+
+        pm, connections = load_pm(args.from_pm)
+        if connections is None:
+            connections = build_connection_lists(pm)
+    elif args.dem:
+        field = read_esri_ascii(args.dem)
+        mesh = DEM(field, Path(args.dem).stem).to_scattered_trimesh(
+            args.points, seed=args.seed
+        )
+        pm = simplify_to_pm(mesh, SimplifyConfig(error_measure="vertical"))
+        pm.normalize_lod()
+        connections = build_connection_lists(pm)
+    else:
+        dataset = dataset_by_name(args.dataset, args.points, seed=args.seed or None)
+        pm = dataset.pm
+        connections = dataset.connections
+    if args.save_pm:
+        from repro.mesh.pmfile import save_pm
+
+        save_pm(args.save_pm, pm, connections)
+        print(f"saved progressive mesh to {args.save_pm}")
+    with Database(args.database) as db:
+        with db.atomic():  # Crash-safe: a killed build never corrupts.
+            store = DirectMeshStore.build(
+                pm, db, connections, compress_connections=args.compress
+            )
+        report = store.build_report
+        assert report is not None
+        print(
+            f"built {report.n_nodes} nodes: {report.heap_pages} data pages, "
+            f"{report.index_pages} index pages, "
+            f"avg {report.avg_connections:.1f} connections/node"
+        )
+        print(f"max LOD: {store.max_lod:.3f}")
+    return 0
+
+
+def _open(args) -> tuple[Database, DirectMeshStore]:
+    db = Database(args.database)
+    return db, DirectMeshStore.open(db)
+
+
+def _roi_or_extent(args, store: DirectMeshStore) -> Rect:
+    if args.roi:
+        return Rect(*args.roi)
+    space = store.rtree.data_space
+    if space is None:
+        raise ReproError("database is empty")
+    return space.rect
+
+
+def _finish(result, args, db) -> int:
+    print(
+        f"{len(result)} points, {len(result.triangles())} triangles, "
+        f"{db.disk_accesses} disk accesses"
+    )
+    if args.render:
+        print(render_points(result.points()))
+    if args.obj:
+        vertices, triangles = result.vertex_mesh()
+        write_obj(args.obj, vertices=vertices, triangles=triangles)
+        print(f"wrote {args.obj}")
+    db.close()
+    return 0
+
+
+def _cmd_query(args) -> int:
+    db, store = _open(args)
+    roi = _roi_or_extent(args, store)
+    db.begin_measured_query()
+    result = store.uniform_query(roi, args.lod)
+    return _finish(result, args, db)
+
+
+def _cmd_viewdep(args) -> int:
+    db, store = _open(args)
+    plane = QueryPlane(
+        Rect(*args.roi), args.emin, args.emax, tuple(args.direction)
+    )
+    db.begin_measured_query()
+    result = store.multi_base_query(plane)
+    print(f"multi-base plan: {result.n_range_queries} range queries")
+    return _finish(result, args, db)
+
+
+def _cmd_explain(args) -> int:
+    from repro.core.explain import explain
+
+    db, store = _open(args)
+    roi = Rect(*args.roi)
+    if args.lod is not None:
+        explanation = explain(store, roi, lod=args.lod, execute=args.execute)
+    elif args.emin is not None and args.emax is not None:
+        plane = QueryPlane(roi, args.emin, args.emax)
+        explanation = explain(store, plane, execute=args.execute)
+    else:
+        raise ReproError("explain needs --lod or both --emin and --emax")
+    print(explanation.to_text())
+    db.close()
+    return 0
+
+
+def _cmd_info(args) -> int:
+    path = Path(args.database)
+    if not path.is_dir():
+        raise ReproError(f"{path} is not a database directory")
+    with Database(path) as db:
+        print(f"database: {path}")
+        for name in db.segment_names():
+            pages = db.segment_pages(name)
+            print(f"  {name:<16} {pages:>6} pages  "
+                  f"({pages * db.page_size / 1024:.0f} KiB)")
+        try:
+            store = DirectMeshStore.open(db)
+            print(f"direct mesh: max LOD {store.max_lod:.3f}, "
+                  f"{len(store.rtree)} indexed segments, "
+                  f"R*-tree height {store.rtree.height}")
+            if args.verify:
+                from repro.core.verify_store import verify_store
+
+                print(verify_store(store).to_text())
+        except ReproError:
+            print("no Direct Mesh store present")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,65 @@
+"""The paper's contribution: Direct Mesh.
+
+Public surface:
+
+* :func:`~repro.core.connectivity.build_connection_lists` -- the
+  similar-LOD connection-point encoding (paper Section 4);
+* :class:`~repro.core.direct_mesh.DirectMeshStore` -- DM records +
+  3D R*-tree in a database, with the three query processors;
+* :class:`~repro.core.query.DMQueryResult` -- query results with mesh
+  reconstruction (edges/triangles) straight from connection lists;
+* :class:`~repro.core.cost_model.RTreeCostModel` -- the I/O cost model
+  and multi-base optimiser (paper formulas (1)-(9));
+* :mod:`repro.core.reconstruct` -- Algorithm 1's refinement steps and
+  triangle extraction.
+"""
+
+from repro.core.connectivity import (
+    build_connection_lists,
+    connection_statistics,
+    total_connection_counts,
+)
+from repro.core.cost_model import MultiBasePlan, RTreeCostModel
+from repro.core.direct_mesh import DirectMeshStore, DMBuildReport
+from repro.core.query import (
+    DMQueryResult,
+    multi_base_query,
+    single_base_query,
+    uniform_query,
+)
+from repro.core.explain import QueryExplanation, RangeStep, explain
+from repro.core.verify_store import StoreReport, verify_store
+from repro.core.streaming import SessionDelta, TerrainSession
+from repro.core.reconstruct import (
+    RefinementResult,
+    mesh_edges,
+    mesh_triangles,
+    refine_to_plane,
+    resolve_overlaps,
+)
+
+__all__ = [
+    "DMBuildReport",
+    "DMQueryResult",
+    "DirectMeshStore",
+    "MultiBasePlan",
+    "QueryExplanation",
+    "RangeStep",
+    "RTreeCostModel",
+    "RefinementResult",
+    "SessionDelta",
+    "StoreReport",
+    "TerrainSession",
+    "build_connection_lists",
+    "connection_statistics",
+    "explain",
+    "mesh_edges",
+    "mesh_triangles",
+    "multi_base_query",
+    "refine_to_plane",
+    "resolve_overlaps",
+    "single_base_query",
+    "total_connection_counts",
+    "uniform_query",
+    "verify_store",
+]

@@ -1,0 +1,169 @@
+"""The R-tree I/O cost model and the multi-base optimiser.
+
+Paper Section 5.3: the number of disk accesses of a 3D R-tree range
+query ``q`` is estimated as::
+
+    DA(R, q) = sum_i (q_x + w_i) (q_y + h_i) (q_z + d_i)        (1)
+
+over the tree's nodes ``i`` (all sizes normalised to the data space).
+Splitting a viewpoint-dependent query's single cube into several
+smaller cubes trades extra index descents for less dead volume; two
+cubes win when formula (7) is positive, and the best place to split
+the top plane is **the middle** (formulas (8)-(9), since
+``q_y1 q_z1 + q_y2 q_z2`` is minimised by equal halves).  Applied
+recursively this yields the multi-base query plan.
+
+The aggregate node statistics come from
+:meth:`repro.index.rstar.RStarTree.node_stats`, i.e. "the size of
+R-tree nodes ... can be found from the R-tree index", as the paper
+notes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geometry.plane import QueryPlane
+from repro.geometry.primitives import Box3
+from repro.index.rstar import RTreeNodeStats
+
+__all__ = ["RTreeCostModel", "MultiBasePlan"]
+
+#: Recursion guard: at most 2**_MAX_SPLIT_DEPTH base cubes.
+_MAX_SPLIT_DEPTH = 6
+
+
+@dataclass(frozen=True)
+class MultiBasePlan:
+    """The optimiser's output: one sub-plane (strip) per range query.
+
+    ``estimated_da`` is the cost-model estimate for the plan;
+    ``single_base_da`` the estimate for the unsplit cube, kept for
+    reporting the predicted gain.
+    """
+
+    strips: list[QueryPlane]
+    estimated_da: float
+    single_base_da: float
+
+    @property
+    def n_queries(self) -> int:
+        """Number of range queries the plan issues."""
+        return len(self.strips)
+
+    @property
+    def predicted_gain(self) -> float:
+        """Estimated disk accesses saved versus single-base."""
+        return self.single_base_da - self.estimated_da
+
+
+class RTreeCostModel:
+    """Estimates range-query I/O against one R*-tree."""
+
+    def __init__(self, stats: RTreeNodeStats) -> None:
+        self._stats = stats
+
+    def estimate(self, query: Box3) -> float:
+        """Formula (1) for one query box."""
+        return self._stats.estimate_disk_accesses(query)
+
+    def estimate_plane(self, plane: QueryPlane) -> float:
+        """Formula (1) for the cube enclosing a query plane."""
+        return self.estimate(self.cube_for(plane))
+
+    @staticmethod
+    def cube_for(plane: QueryPlane) -> Box3:
+        """The single-base query cube of a (sub-)plane."""
+        return Box3.from_rect(plane.roi, plane.e_min, plane.e_max)
+
+    # -- multi-base optimisation -------------------------------------------
+
+    def plan_multi_base(
+        self, plane: QueryPlane, max_depth: int = _MAX_SPLIT_DEPTH
+    ) -> MultiBasePlan:
+        """Recursively halve the query plane while formula (7) predicts
+        a positive gain.
+
+        Returns the strips in order along the viewing direction.
+        """
+        single = self.estimate_plane(plane)
+        strips = self._split_recursive(plane, max_depth)
+        total = sum(self.estimate_plane(s) for s in strips)
+        if total >= single:
+            # Degenerate data (e.g. flat LOD field): keep single-base.
+            return MultiBasePlan([plane], single, single)
+        return MultiBasePlan(strips, total, single)
+
+    def _split_recursive(
+        self, plane: QueryPlane, depth: int
+    ) -> list[QueryPlane]:
+        if depth <= 0:
+            return [plane]
+        whole = self.estimate_plane(plane)
+        halves = plane.split_across_direction(2)
+        if len(halves) != 2:
+            return [plane]
+        split_cost = sum(self.estimate_plane(h) for h in halves)
+        if split_cost >= whole:
+            # Condition (7) fails: splitting no longer pays.
+            return [plane]
+        result: list[QueryPlane] = []
+        for half in halves:
+            result.extend(self._split_recursive(half, depth - 1))
+        return result
+
+    def gain_curve(
+        self, plane: QueryPlane, max_parts: int = 32
+    ) -> list[tuple[int, float]]:
+        """Estimated DA for 1, 2, 4, ... equal strips (ablation data).
+
+        Used by the multi-base ablation benchmark to show where the
+        optimum lies and that the cost decreases then flattens/rises.
+        """
+        curve: list[tuple[int, float]] = []
+        parts = 1
+        while parts <= max_parts:
+            strips = plane.split_across_direction(parts)
+            curve.append(
+                (parts, sum(self.estimate_plane(s) for s in strips))
+            )
+            parts *= 2
+        return curve
+
+    def middle_split_advantage(
+        self, plane: QueryPlane, fractions: list[float] | None = None
+    ) -> list[tuple[float, float]]:
+        """Estimated DA of a 2-way split at varying split positions.
+
+        Demonstrates formula (9): the middle split minimises
+        ``q_y1 q_z1 + q_y2 q_z2``.  Returns ``(fraction, DA)`` pairs.
+        """
+        if fractions is None:
+            fractions = [0.1, 0.25, 0.5, 0.75, 0.9]
+        results: list[tuple[float, float]] = []
+        for frac in fractions:
+            first, second = _split_at(plane, frac)
+            da = self.estimate_plane(first) + self.estimate_plane(second)
+            results.append((frac, da))
+        return results
+
+
+def _split_at(plane: QueryPlane, fraction: float) -> tuple[QueryPlane, QueryPlane]:
+    """Split a plane's ROI at ``fraction`` along the dominant view axis."""
+    from repro.geometry.primitives import Rect
+
+    roi = plane.roi
+    dx, dy = plane.direction
+    if abs(dy) >= abs(dx):
+        cut = roi.min_y + roi.height * fraction
+        a = Rect(roi.min_x, roi.min_y, roi.max_x, cut)
+        b = Rect(roi.min_x, cut, roi.max_x, roi.max_y)
+    else:
+        cut = roi.min_x + roi.width * fraction
+        a = Rect(roi.min_x, roi.min_y, cut, roi.max_y)
+        b = Rect(cut, roi.min_y, roi.max_x, roi.max_y)
+    planes = []
+    for sub in (a, b):
+        lo, hi = plane.lod_range_over(sub)
+        planes.append(QueryPlane(sub, lo, hi, plane.direction))
+    return planes[0], planes[1]

@@ -1,0 +1,192 @@
+"""Mesh reconstruction from retrieved Direct Mesh nodes.
+
+Direct Mesh's defining property (paper Section 4) is that a terrain
+approximation can be rebuilt from a *set of points* without fetching
+their ancestors: every retrieved node carries its similar-LOD
+connection-point list, so
+
+* the approximation's **edges** are exactly the connection pairs whose
+  two endpoints are both in the result set, and
+* **triangles** fall out of the planar embedding: around each node,
+  sort its result-set neighbours by angle; each consecutive pair that
+  is itself connected closes a triangle.
+
+The module also implements the *refinement* steps (3)-(4) of the
+paper's Algorithm 1 (``SingleBase``): build the mesh on the top plane,
+then split nodes top-down until the query plane's LOD is met — used
+both as the executable form of the algorithm and to cross-check the
+set-filter semantics in tests.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import QueryError
+from repro.geometry.plane import QueryPlane
+from repro.storage.record import DMNodeRecord
+
+__all__ = [
+    "mesh_edges",
+    "mesh_triangles",
+    "RefinementResult",
+    "refine_to_plane",
+    "resolve_overlaps",
+]
+
+
+def mesh_edges(nodes: dict[int, DMNodeRecord]) -> set[tuple[int, int]]:
+    """Edges of the approximation formed by ``nodes``.
+
+    A pair is an edge iff each endpoint appears in the other's
+    similar-LOD connection list and both are present.
+    """
+    edges: set[tuple[int, int]] = set()
+    for node_id, record in nodes.items():
+        for other in record.connections:
+            if other in nodes:
+                edges.add((node_id, other) if node_id < other else (other, node_id))
+    return edges
+
+
+def mesh_triangles(
+    nodes: dict[int, DMNodeRecord],
+    edges: set[tuple[int, int]] | None = None,
+) -> list[tuple[int, int, int]]:
+    """Triangles of the approximation formed by ``nodes``.
+
+    For each node, neighbours are sorted counter-clockwise; every
+    consecutive neighbour pair that shares an edge closes a triangle.
+    Each interior triangle is found three times and deduplicated.
+    """
+    if edges is None:
+        edges = mesh_edges(nodes)
+    neighbor_map: dict[int, list[int]] = {nid: [] for nid in nodes}
+    for a, b in edges:
+        neighbor_map[a].append(b)
+        neighbor_map[b].append(a)
+    triangles: set[tuple[int, int, int]] = set()
+    for nid, neighbors in neighbor_map.items():
+        if len(neighbors) < 2:
+            continue
+        origin = nodes[nid]
+        ordered = sorted(
+            neighbors,
+            key=lambda other: math.atan2(
+                nodes[other].y - origin.y, nodes[other].x - origin.x
+            ),
+        )
+        count = len(ordered)
+        for i in range(count):
+            a = ordered[i]
+            b = ordered[(i + 1) % count]
+            if count == 2 and i == 1:
+                break  # Avoid emitting the same wedge twice.
+            key = (a, b) if a < b else (b, a)
+            if key in edges:
+                tri = tuple(sorted((nid, a, b)))
+                triangles.add(tri)  # type: ignore[arg-type]
+    return sorted(triangles)
+
+
+@dataclass
+class RefinementResult:
+    """Outcome of running Algorithm 1's refinement steps.
+
+    Attributes:
+        active: ids forming the refined mesh.
+        splits: number of vertex splits performed (CPU-cost proxy —
+            the paper notes DM needs "a smaller amount of refinement").
+        missing_children: ids of children that were demanded but not
+            present in the retrieved set (should stay empty for
+            correctly formed query cubes; boundary nodes whose
+            children fall outside the ROI are not demanded).
+    """
+
+    active: set[int]
+    splits: int = 0
+    missing_children: list[int] = field(default_factory=list)
+
+
+def refine_to_plane(
+    records: dict[int, DMNodeRecord],
+    plane: QueryPlane,
+    start_lod: float | None = None,
+) -> RefinementResult:
+    """Algorithm 1, steps 3-4: top-plane mesh, then refine downwards.
+
+    Args:
+        records: every node retrieved by the query cube, keyed by id.
+        plane: the query plane (``required_lod`` drives the splits).
+        start_lod: LOD of the top plane (defaults to ``plane.e_max``).
+
+    A node is split while its ``e_low`` exceeds the plane's required
+    LOD at the node's own position and both children are available;
+    children falling outside the retrieved set are recorded in
+    ``missing_children`` (they lie outside the ROI and are dropped,
+    clipping the mesh at the ROI boundary like the paper's ``M'``).
+    """
+    top = plane.e_max if start_lod is None else start_lod
+    active: set[int] = {
+        nid for nid, rec in records.items() if rec.interval_contains(top)
+    }
+    if not active and records:
+        # The cube's top plane may sit above every retrieved interval
+        # when the ROI clips coarse ancestors away; seed with maximal
+        # nodes (those whose parent is absent).
+        active = {
+            nid for nid, rec in records.items() if rec.parent not in records
+        }
+    result = RefinementResult(active=set())
+    stack = list(active)
+    while stack:
+        nid = stack.pop()
+        rec = records[nid]
+        required = plane.required_lod(rec.x, rec.y)
+        if rec.e_low <= required or rec.is_leaf:
+            result.active.add(nid)
+            continue
+        children = [c for c in (rec.child1, rec.child2) if c in records]
+        if len(children) < 2:
+            # Children clipped by the ROI: keep what exists.
+            result.missing_children.extend(
+                c for c in (rec.child1, rec.child2) if c not in records
+            )
+            stack.extend(children)
+            continue
+        result.splits += 1
+        stack.extend(children)
+    return result
+
+
+def resolve_overlaps(
+    records: dict[int, DMNodeRecord]
+) -> dict[int, DMNodeRecord]:
+    """Drop nodes whose ancestor is also present.
+
+    Under the pointwise viewpoint-dependent semantics a steep query
+    plane can qualify both a node and one of its descendants (at their
+    respective positions).  Keeping the ancestor yields a consistent
+    (slightly coarser) mesh; this helper applies that rule.
+    """
+    present = set(records)
+    kept: dict[int, DMNodeRecord] = {}
+    for nid, rec in records.items():
+        ancestor = rec.parent
+        has_present_ancestor = False
+        guard = 0
+        while ancestor != -1:
+            if ancestor in present:
+                has_present_ancestor = True
+                break
+            parent_rec = records.get(ancestor)
+            if parent_rec is None:
+                break
+            ancestor = parent_rec.parent
+            guard += 1
+            if guard > len(records):
+                raise QueryError("parent chain cycle detected")
+        if not has_present_ancestor:
+            kept[nid] = rec
+    return kept

@@ -1,0 +1,132 @@
+"""Progressive terrain streaming sessions over a Direct Mesh store.
+
+The paper's introduction motivates MTMs with interactive walkthroughs
+on "ordinary desktops or wireless devices and Internet applications":
+a client keeps a terrain mesh for its current view and, as the view
+moves, wants *deltas* — which points entered the approximation, which
+left — rather than full result sets.
+
+:class:`TerrainSession` provides that on top of the store's query
+processors.  Each :meth:`update` evaluates the new view (a
+:class:`~repro.geometry.plane.QueryPlane`, a
+:class:`~repro.geometry.plane.RadialLodField`, or a uniform
+``(roi, lod)`` pair), diffs it against the session's active set, and
+returns a :class:`SessionDelta` with the added records, the removed
+ids, and transfer-size accounting.  Because Direct Mesh nodes are
+self-describing (coordinates + connection list), the client can splice
+deltas into its mesh without any server-side topology bookkeeping —
+the property that makes DM suit thin clients.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.query import DMQueryResult
+from repro.core.reconstruct import mesh_edges, mesh_triangles
+from repro.errors import QueryError
+from repro.geometry.primitives import Rect
+from repro.storage.record import DMNodeRecord, dm_record_size
+
+__all__ = ["TerrainSession", "SessionDelta"]
+
+
+@dataclass
+class SessionDelta:
+    """The outcome of one view update.
+
+    Attributes:
+        added: records newly entering the approximation (what a server
+            would transmit).
+        removed: ids leaving the approximation (clients drop these).
+        kept: number of records carried over unchanged.
+        disk_accesses: physical reads the update cost the server.
+        bytes_added: on-wire size of ``added`` (DM record encoding).
+    """
+
+    added: list[DMNodeRecord] = field(default_factory=list)
+    removed: list[int] = field(default_factory=list)
+    kept: int = 0
+    disk_accesses: int = 0
+    bytes_added: int = 0
+
+    @property
+    def churn(self) -> float:
+        """Fraction of the new view that had to be transmitted."""
+        total = len(self.added) + self.kept
+        return len(self.added) / total if total else 0.0
+
+
+class TerrainSession:
+    """A stateful client view over a Direct Mesh store."""
+
+    def __init__(self, store) -> None:
+        self._store = store
+        self._active: dict[int, DMNodeRecord] = {}
+        self._updates = 0
+
+    # -- state ------------------------------------------------------------
+
+    @property
+    def active_ids(self) -> set[int]:
+        """Ids currently in the client's mesh."""
+        return set(self._active)
+
+    @property
+    def update_count(self) -> int:
+        """Number of updates applied."""
+        return self._updates
+
+    def mesh(self) -> tuple[set[tuple[int, int]], list[tuple[int, int, int]]]:
+        """The client's current ``(edges, triangles)``."""
+        edges = mesh_edges(self._active)
+        return edges, mesh_triangles(self._active, edges)
+
+    # -- updates ------------------------------------------------------------
+
+    def update(self, view, lod: float | None = None) -> SessionDelta:
+        """Move the session to a new view and return the delta.
+
+        Args:
+            view: a query plane / radial field (viewpoint-dependent),
+                or a :class:`~repro.geometry.primitives.Rect` ROI
+                combined with ``lod`` (viewpoint-independent).
+            lod: the uniform LOD when ``view`` is a Rect.
+        """
+        database = self._store.database
+        database.begin_measured_query()
+        result = self._evaluate(view, lod)
+        disk_accesses = database.disk_accesses
+        return self._apply(result, disk_accesses)
+
+    def _evaluate(self, view, lod: float | None) -> DMQueryResult:
+        if isinstance(view, Rect):
+            if lod is None:
+                raise QueryError("uniform view updates need a lod value")
+            return self._store.uniform_query(view, lod)
+        if hasattr(view, "required_lod"):
+            return self._store.multi_base_query(view)
+        raise QueryError(
+            f"unsupported view type {type(view).__name__}; pass a Rect "
+            "or an object with required_lod()"
+        )
+
+    def _apply(
+        self, result: DMQueryResult, disk_accesses: int
+    ) -> SessionDelta:
+        new_ids = set(result.nodes)
+        old_ids = set(self._active)
+        delta = SessionDelta(disk_accesses=disk_accesses)
+        for node_id in sorted(new_ids - old_ids):
+            record = result.nodes[node_id]
+            delta.added.append(record)
+            delta.bytes_added += dm_record_size(len(record.connections))
+        delta.removed = sorted(old_ids - new_ids)
+        delta.kept = len(new_ids & old_ids)
+        self._active = dict(result.nodes)
+        self._updates += 1
+        return delta
+
+    def reset(self) -> None:
+        """Drop the client state (e.g. teleporting the camera)."""
+        self._active.clear()

@@ -1,0 +1,178 @@
+"""Integrity verification for Direct Mesh stores (``fsck`` for DM).
+
+Cross-checks the three physical structures that must stay mutually
+consistent — the record heap, the 3D R*-tree, and the id B+-tree —
+plus the semantic invariants of the Direct Mesh encoding itself
+(interval sanity, connection-list symmetry, parent/child links).
+Returns a structured report rather than raising, so operators can see
+every problem at once; ``raise_on_error`` converts failures into
+:class:`~repro.errors.StorageError`.
+
+Used after bulk builds in tests, and exposed as
+``python -m repro info --verify``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import StorageError
+from repro.storage.record import decode_dm_node
+
+__all__ = ["verify_store", "StoreReport"]
+
+
+@dataclass
+class StoreReport:
+    """Outcome of a store verification pass.
+
+    ``problems`` is empty for a healthy store; ``stats`` carries the
+    object counts the checks were computed over.
+    """
+
+    problems: list[str] = field(default_factory=list)
+    stats: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """True when no problems were found."""
+        return not self.problems
+
+    def to_text(self) -> str:
+        """A printable report."""
+        lines = [
+            "store verification: " + ("OK" if self.ok else "PROBLEMS FOUND")
+        ]
+        for key in sorted(self.stats):
+            lines.append(f"  {key}: {self.stats[key]}")
+        for problem in self.problems[:50]:
+            lines.append(f"  !! {problem}")
+        if len(self.problems) > 50:
+            lines.append(f"  ... and {len(self.problems) - 50} more")
+        return "\n".join(lines)
+
+
+def verify_store(
+    store, sample_connections: int = 2000, raise_on_error: bool = False
+) -> StoreReport:
+    """Verify a :class:`~repro.core.direct_mesh.DirectMeshStore`.
+
+    Checks:
+
+    1. every heap record decodes and its RID appears exactly once in
+       the R*-tree with a box matching the record's segment;
+    2. the B+-tree maps every node id to the correct RID (and nothing
+       else);
+    3. interval sanity (`0 <= e_low <= e_high`, roots unbounded);
+    4. parent/child links resolve to existing records;
+    5. connection-list symmetry over a sample (full check on small
+       stores).
+
+    Args:
+        store: the store to verify.
+        sample_connections: cap on nodes whose connection symmetry is
+            cross-checked (each costs a B+-tree lookup per neighbour).
+        raise_on_error: raise instead of returning a dirty report.
+    """
+    report = StoreReport()
+    problems = report.problems
+
+    # Pass 1: heap scan.
+    records: dict[int, tuple[int, object]] = {}  # id -> (rid, record)
+    rid_by_record: dict[int, int] = {}
+    for rid, payload in store.heap.scan():
+        try:
+            record = decode_dm_node(payload)
+        except Exception as exc:  # noqa: BLE001 - report, don't crash
+            problems.append(f"rid {rid}: undecodable record ({exc})")
+            continue
+        if record.id in records:
+            problems.append(f"duplicate node id {record.id} in heap")
+        records[record.id] = (rid, record)
+        rid_by_record[rid] = record.id
+    report.stats["heap_records"] = len(records)
+
+    # Pass 2: index entries.
+    index_rids: dict[int, tuple] = {}
+    for box, rid in store.rtree.all_entries():
+        if rid in index_rids:
+            problems.append(f"rid {rid} appears twice in the R*-tree")
+        index_rids[rid] = box
+    report.stats["index_entries"] = len(index_rids)
+
+    if set(index_rids) != set(rid_by_record):
+        missing = len(set(rid_by_record) - set(index_rids))
+        extra = len(set(index_rids) - set(rid_by_record))
+        if missing:
+            problems.append(f"{missing} heap records missing from the index")
+        if extra:
+            problems.append(f"{extra} dangling index entries")
+
+    for node_id, (rid, record) in records.items():
+        box = index_rids.get(rid)
+        if box is None:
+            continue
+        if box.min_x != record.x or box.min_y != record.y:
+            problems.append(f"node {node_id}: index position mismatch")
+        if box.min_e != record.e_low:
+            problems.append(f"node {node_id}: index e_low mismatch")
+        expected_high = (
+            store.e_cap if math.isinf(record.e_high) else record.e_high
+        )
+        if box.max_e != expected_high:
+            problems.append(f"node {node_id}: index e_high mismatch")
+
+    # Pass 3: B+-tree.
+    btree_count = 0
+    for key, rid in store.btree.items():
+        btree_count += 1
+        entry = records.get(key)
+        if entry is None:
+            problems.append(f"btree maps unknown id {key}")
+        elif entry[0] != rid:
+            problems.append(f"btree rid mismatch for id {key}")
+    report.stats["btree_entries"] = btree_count
+    if btree_count != len(records):
+        problems.append(
+            f"btree has {btree_count} entries for {len(records)} records"
+        )
+
+    # Pass 4: semantic invariants.
+    for node_id, (_, record) in records.items():
+        if record.e_low < 0:
+            problems.append(f"node {node_id}: negative e_low")
+        if record.e_high < record.e_low:
+            problems.append(f"node {node_id}: inverted interval")
+        if record.parent == -1 and not math.isinf(record.e_high):
+            problems.append(f"root {node_id}: bounded interval")
+        for child in (record.child1, record.child2):
+            if child != -1 and child not in records:
+                problems.append(f"node {node_id}: missing child {child}")
+        if record.parent != -1 and record.parent not in records:
+            problems.append(f"node {node_id}: missing parent")
+
+    # Pass 5: connection symmetry (sampled).
+    checked = 0
+    for node_id, (_, record) in records.items():
+        if checked >= sample_connections:
+            break
+        checked += 1
+        for other_id in record.connections:
+            other = records.get(other_id)
+            if other is None:
+                problems.append(
+                    f"node {node_id}: connection to missing {other_id}"
+                )
+            elif node_id not in other[1].connections:
+                problems.append(
+                    f"asymmetric connection ({node_id}, {other_id})"
+                )
+    report.stats["connection_checked"] = checked
+
+    if raise_on_error and not report.ok:
+        raise StorageError(
+            f"store verification failed: {report.problems[0]} "
+            f"(+{len(report.problems) - 1} more)"
+        )
+    return report

@@ -1,0 +1,60 @@
+"""Exception hierarchy for the Direct Mesh reproduction.
+
+Every error raised by this library derives from :class:`ReproError`, so
+applications can catch library failures with a single ``except`` clause
+while still distinguishing subsystems when they need to.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class GeometryError(ReproError):
+    """A geometric operation received degenerate or inconsistent input."""
+
+
+class TriangulationError(GeometryError):
+    """Delaunay triangulation could not be completed."""
+
+
+class MeshError(ReproError):
+    """A triangle-mesh operation violated mesh invariants."""
+
+
+class SimplificationError(MeshError):
+    """Edge-collapse simplification could not make progress."""
+
+
+class StorageError(ReproError):
+    """A failure in the page/buffer/heap-file storage substrate."""
+
+
+class PageError(StorageError):
+    """A page-level failure (bad page id, overflow, corrupt header)."""
+
+
+class BufferPoolError(StorageError):
+    """The buffer pool was used inconsistently (e.g. over-pinning)."""
+
+
+class RecordError(StorageError):
+    """A record failed to encode or decode."""
+
+
+class IndexError_(ReproError):
+    """A failure in an index structure (B+-tree, R*-tree, quadtree).
+
+    Named with a trailing underscore to avoid shadowing the built-in
+    :class:`IndexError`, which has unrelated semantics.
+    """
+
+
+class QueryError(ReproError):
+    """A terrain query was malformed or could not be evaluated."""
+
+
+class DatasetError(ReproError):
+    """A dataset could not be generated, loaded, or cached."""

@@ -1,0 +1,156 @@
+"""A binary interchange format for progressive meshes (``.pmz``).
+
+Building a PM from millions of points is expensive; shipping one
+between machines or sessions should not require re-simplification (or
+Python pickles, which are neither stable nor safe across versions).
+The ``.pmz`` format is a small, versioned, zlib-compressed container:
+
+```
+magic 'PMZ1' | u32 flags | u32 n_nodes | u32 n_leaves | u32 n_edges
+zlib block:
+    n_nodes   x  <i 5d 5i>   (id implicit; x y z error e e_high
+                               parent child1 child2 wing1 wing2)
+    n_edges   x  <2i>        base-mesh edges
+    [flags & 1] n_nodes x connection list (varint-coded)
+```
+
+Normalised LOD values (and optionally the Direct Mesh connection
+lists) are stored, so a loaded PM is immediately queryable and
+buildable into stores without recomputation.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from pathlib import Path
+
+from repro.errors import DatasetError
+from repro.geometry.primitives import Rect
+from repro.mesh.progressive import PMNode, ProgressiveMesh
+from repro.storage.varint import decode_id_list, encode_id_list
+
+__all__ = ["save_pm", "load_pm"]
+
+_MAGIC = b"PMZ1"
+_HEADER = struct.Struct("<4sIIII")
+_NODE = struct.Struct("<5d5i")
+_EDGE = struct.Struct("<2i")
+
+_FLAG_CONNECTIONS = 1
+
+
+def save_pm(
+    path: str | Path,
+    pm: ProgressiveMesh,
+    connections: dict[int, list[int]] | None = None,
+) -> None:
+    """Write a (normalised) progressive mesh to ``path``.
+
+    Args:
+        path: output file (conventionally ``*.pmz``).
+        pm: the mesh; must be normalised so LOD intervals round-trip.
+        connections: optional Direct Mesh connection lists to embed.
+    """
+    if not pm.is_normalized:
+        raise DatasetError("save_pm requires a normalised progressive mesh")
+    flags = _FLAG_CONNECTIONS if connections is not None else 0
+    body = bytearray()
+    for node in pm.nodes:
+        body += _NODE.pack(
+            node.x,
+            node.y,
+            node.z,
+            node.error,
+            node.e,
+            node.parent,
+            node.child1,
+            node.child2,
+            node.wing1,
+            node.wing2,
+        )
+    edges = sorted(pm.base_edges)
+    for a, b in edges:
+        body += _EDGE.pack(a, b)
+    if connections is not None:
+        for node in pm.nodes:
+            body += encode_id_list(connections.get(node.id, []))
+    compressed = zlib.compress(bytes(body), level=6)
+    with open(path, "wb") as f:
+        f.write(
+            _HEADER.pack(
+                _MAGIC, flags, len(pm.nodes), pm.n_leaves, len(edges)
+            )
+        )
+        f.write(compressed)
+
+
+def load_pm(
+    path: str | Path,
+) -> tuple[ProgressiveMesh, dict[int, list[int]] | None]:
+    """Read a ``.pmz`` file; returns ``(pm, connections_or_None)``.
+
+    The returned mesh is normalised (LOD values and intervals are
+    restored from the file, then re-derived footprints).
+    """
+    with open(path, "rb") as f:
+        header = f.read(_HEADER.size)
+        if len(header) != _HEADER.size:
+            raise DatasetError(f"{path}: truncated header")
+        magic, flags, n_nodes, n_leaves, n_edges = _HEADER.unpack(header)
+        if magic != _MAGIC:
+            raise DatasetError(f"{path}: not a PMZ file")
+        try:
+            body = zlib.decompress(f.read())
+        except zlib.error as exc:
+            raise DatasetError(f"{path}: corrupt body ({exc})") from exc
+
+    expected_min = n_nodes * _NODE.size + n_edges * _EDGE.size
+    if len(body) < expected_min:
+        raise DatasetError(
+            f"{path}: body holds {len(body)} bytes, "
+            f"needs at least {expected_min}"
+        )
+    nodes: list[PMNode] = []
+    offset = 0
+    for node_id in range(n_nodes):
+        x, y, z, error, e, parent, c1, c2, w1, w2 = _NODE.unpack_from(
+            body, offset
+        )
+        offset += _NODE.size
+        node = PMNode(
+            node_id, x, y, z, error,
+            parent=parent, child1=c1, child2=c2, wing1=w1, wing2=w2,
+        )
+        node.e = e
+        nodes.append(node)
+    edges: set[tuple[int, int]] = set()
+    for _ in range(n_edges):
+        a, b = _EDGE.unpack_from(body, offset)
+        offset += _EDGE.size
+        edges.add((a, b))
+
+    connections: dict[int, list[int]] | None = None
+    if flags & _FLAG_CONNECTIONS:
+        connections = {}
+        for node_id in range(n_nodes):
+            ids, offset = decode_id_list(body, offset)
+            connections[node_id] = ids
+
+    pm = ProgressiveMesh(nodes, n_leaves, edges)
+    _restore_normalisation(pm)
+    pm.validate()
+    return pm, connections
+
+
+def _restore_normalisation(pm: ProgressiveMesh) -> None:
+    """Rebuild interval tops and footprints from the stored ``e``."""
+    from repro.mesh.progressive import LOD_INFINITY
+
+    for node in pm.nodes:
+        if node.parent == -1:
+            node.e_high = LOD_INFINITY
+        else:
+            node.e_high = pm.node(node.parent).e
+    pm._compute_footprints()
+    pm._normalized = True

@@ -1,0 +1,138 @@
+"""LRU buffer pool shared by every segment of a database.
+
+The pool caches page buffers keyed by ``(segment name, page number)``.
+A request that misses triggers a physical read through the segment's
+pager; a hit costs only a logical read.  Dirty pages are written back
+on eviction and on :meth:`BufferPool.flush`.
+
+The paper's methodology — "the database and system buffer is flushed
+before each test" — maps to calling :meth:`flush` before each measured
+query, after which every first touch of a page is a disk access.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.errors import BufferPoolError
+from repro.storage.pager import Pager
+from repro.storage.stats import DiskStats
+
+__all__ = ["BufferPool", "DEFAULT_POOL_PAGES"]
+
+#: Default pool capacity: 256 x 8 KiB = 2 MiB.
+DEFAULT_POOL_PAGES = 256
+
+
+class _Frame:
+    __slots__ = ("data", "dirty", "pager")
+
+    def __init__(self, data: bytearray, pager: Pager) -> None:
+        self.data = data
+        self.dirty = False
+        self.pager = pager
+
+
+class BufferPool:
+    """A shared LRU page cache with write-back semantics."""
+
+    def __init__(
+        self, stats: DiskStats, capacity: int = DEFAULT_POOL_PAGES
+    ) -> None:
+        if capacity < 1:
+            raise BufferPoolError(f"capacity must be >= 1, got {capacity}")
+        self._stats = stats
+        self._capacity = capacity
+        self._frames: OrderedDict[tuple[str, int], _Frame] = OrderedDict()
+
+    # -- configuration -----------------------------------------------------
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of cached pages."""
+        return self._capacity
+
+    def resize(self, capacity: int) -> None:
+        """Change capacity; evicts (writing back) if shrinking."""
+        if capacity < 1:
+            raise BufferPoolError(f"capacity must be >= 1, got {capacity}")
+        self._capacity = capacity
+        while len(self._frames) > self._capacity:
+            self._evict_one()
+
+    # -- page access ---------------------------------------------------------
+
+    def fetch(self, pager: Pager, page_no: int) -> bytearray:
+        """The page buffer for ``page_no`` of ``pager``'s segment.
+
+        Returns the *cached* buffer: mutations are visible to later
+        fetches, but callers must pair mutations with
+        :meth:`mark_dirty` for them to survive eviction.
+        """
+        key = (pager.name, page_no)
+        self._stats.record_logical_read(pager.name)
+        frame = self._frames.get(key)
+        if frame is not None:
+            self._frames.move_to_end(key)
+            return frame.data
+        data = pager.read_page(page_no)  # Counts the physical read.
+        self._admit(key, _Frame(data, pager))
+        return data
+
+    def put_new(self, pager: Pager, page_no: int, data: bytearray) -> None:
+        """Install a freshly allocated page without reading from disk.
+
+        Used right after :meth:`Pager.allocate`, whose zero-fill write
+        already hit the file; the in-memory copy is marked dirty so the
+        real contents reach disk on eviction/flush.
+        """
+        key = (pager.name, page_no)
+        frame = _Frame(data, pager)
+        frame.dirty = True
+        self._admit(key, frame)
+
+    def mark_dirty(self, pager: Pager, page_no: int) -> None:
+        """Flag a cached page as modified."""
+        key = (pager.name, page_no)
+        frame = self._frames.get(key)
+        if frame is None:
+            raise BufferPoolError(
+                f"page {page_no} of {pager.name} is not resident"
+            )
+        frame.dirty = True
+
+    # -- maintenance ------------------------------------------------------------
+
+    def flush(self) -> None:
+        """Write back every dirty page and empty the pool.
+
+        This is the paper's 'flush the database buffer before each
+        test': afterwards, all page touches are cold.
+        """
+        for (name, page_no), frame in self._frames.items():
+            if frame.dirty:
+                frame.pager.write_page(page_no, frame.data)
+        self._frames.clear()
+
+    def flush_dirty(self) -> None:
+        """Write back dirty pages but keep the cache warm."""
+        for (name, page_no), frame in self._frames.items():
+            if frame.dirty:
+                frame.pager.write_page(page_no, frame.data)
+                frame.dirty = False
+
+    def resident_pages(self) -> int:
+        """Number of pages currently cached."""
+        return len(self._frames)
+
+    # -- internals -----------------------------------------------------------------
+
+    def _admit(self, key: tuple[str, int], frame: _Frame) -> None:
+        while len(self._frames) >= self._capacity:
+            self._evict_one()
+        self._frames[key] = frame
+
+    def _evict_one(self) -> None:
+        key, frame = self._frames.popitem(last=False)
+        if frame.dirty:
+            frame.pager.write_page(key[1], frame.data)

@@ -1,0 +1,219 @@
+"""The database facade: a directory of segments behind one buffer pool.
+
+A :class:`Database` stands in for the paper's Oracle instance: it owns
+the shared :class:`~repro.storage.stats.DiskStats`, the
+:class:`~repro.storage.buffer.BufferPool`, and one
+:class:`~repro.storage.pager.Pager` per *segment* (a table or index
+file).  Higher layers (heap files, B+-trees, spatial indexes) operate
+on :class:`Segment` handles, which route all page traffic through the
+buffer pool so that disk-access accounting is uniform.
+"""
+
+from __future__ import annotations
+
+import shutil
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Iterator
+
+from repro.errors import StorageError
+from repro.storage.buffer import DEFAULT_POOL_PAGES, BufferPool
+from repro.storage.page import DEFAULT_PAGE_SIZE
+from repro.storage.pager import Pager
+from repro.storage.stats import DiskStats
+
+__all__ = ["Database", "Segment"]
+
+
+class Segment:
+    """Buffered page access to one file, with statistics attribution."""
+
+    def __init__(self, pager: Pager, buffer: BufferPool) -> None:
+        self._pager = pager
+        self._buffer = buffer
+
+    @property
+    def name(self) -> str:
+        """Segment name (statistics key)."""
+        return self._pager.name
+
+    @property
+    def page_size(self) -> int:
+        """Bytes per page."""
+        return self._pager.page_size
+
+    @property
+    def n_pages(self) -> int:
+        """Number of allocated pages."""
+        return self._pager.n_pages
+
+    def fetch(self, page_no: int) -> bytearray:
+        """The (cached) buffer for ``page_no``."""
+        return self._buffer.fetch(self._pager, page_no)
+
+    def allocate(self) -> tuple[int, bytearray]:
+        """Allocate a new page; returns ``(page_no, buffer)``.
+
+        The returned buffer is resident and already marked dirty.
+        """
+        page_no = self._pager.allocate()
+        data = bytearray(self._pager.page_size)
+        self._buffer.put_new(self._pager, page_no, data)
+        return page_no, data
+
+    def mark_dirty(self, page_no: int) -> None:
+        """Flag a fetched page as modified."""
+        self._buffer.mark_dirty(self._pager, page_no)
+
+
+class Database:
+    """A directory-backed collection of segments.
+
+    Args:
+        path: directory for the segment files (created if missing).
+        pool_pages: buffer pool capacity in pages.
+        page_size: page size for all segments.
+        overwrite: if true, delete any existing directory contents.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        pool_pages: int = DEFAULT_POOL_PAGES,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        overwrite: bool = False,
+    ) -> None:
+        self.path = Path(path)
+        if overwrite and self.path.exists():
+            shutil.rmtree(self.path)
+        self.path.mkdir(parents=True, exist_ok=True)
+        self.page_size = page_size
+        self.stats = DiskStats()
+        self.buffer = BufferPool(self.stats, pool_pages)
+        self._pagers: dict[str, Pager] = {}
+        self._closed = False
+        self._wal = None
+        self._recover_if_needed()
+
+    def _recover_if_needed(self) -> None:
+        """Replay or discard a leftover write-ahead log on open."""
+        from repro.storage.wal import WriteAheadLog
+
+        if not WriteAheadLog.needs_recovery(self.path):
+            return
+        wal = WriteAheadLog(self.path, self.page_size)
+        outcome = wal.recover(self.segment)
+        if outcome == "replayed":
+            self.buffer.flush_dirty()
+            for pager in self._pagers.values():
+                pager.sync()
+
+    # -- segments -----------------------------------------------------------
+
+    def segment(self, name: str) -> Segment:
+        """Open (creating if needed) the segment called ``name``."""
+        self._check_open()
+        pager = self._pagers.get(name)
+        if pager is None:
+            pager = Pager(
+                self.path / f"{name}.seg",
+                self.stats,
+                name=name,
+                page_size=self.page_size,
+            )
+            pager.wal = self._wal  # Join any active atomic scope.
+            self._pagers[name] = pager
+        return Segment(pager, self.buffer)
+
+    def has_segment(self, name: str) -> bool:
+        """True if the segment file exists on disk."""
+        return name in self._pagers or (self.path / f"{name}.seg").exists()
+
+    def segment_names(self) -> list[str]:
+        """All segment files present in the database directory."""
+        return sorted(p.stem for p in self.path.glob("*.seg"))
+
+    def segment_pages(self, name: str) -> int:
+        """Allocated page count of segment ``name``."""
+        return self.segment(name)._pager.n_pages
+
+    # -- test methodology helpers ---------------------------------------------
+
+    def flush(self) -> None:
+        """Write back and drop every buffered page (cold cache).
+
+        Matches the paper's flush-before-each-test methodology.
+        """
+        self.buffer.flush()
+
+    def begin_measured_query(self) -> None:
+        """Flush the buffer and zero counters — call before each query."""
+        self.flush()
+        self.stats.reset()
+
+    @property
+    def disk_accesses(self) -> int:
+        """Physical reads since the last reset (the paper's metric)."""
+        return self.stats.physical_reads
+
+    # -- atomic multi-segment mutations -------------------------------------------
+
+    @contextmanager
+    def atomic(self) -> Iterator[None]:
+        """Crash-safe scope for multi-segment mutations (builds).
+
+        Page write-backs inside the scope are logged to a write-ahead
+        log before hitting the segments; on normal exit all dirty
+        pages are flushed, the segments fsynced, and the log removed.
+        If the process dies inside the scope, the next
+        :class:`Database` open discards the torn log; if it dies
+        after the commit record but before the log is removed, the
+        open replays it.  Nesting is not supported.
+        """
+        from repro.storage.wal import WriteAheadLog
+
+        if self._wal is not None:
+            raise StorageError("atomic scopes do not nest")
+        wal = WriteAheadLog(self.path, self.page_size)
+        wal.begin()
+        self._wal = wal
+        for pager in self._pagers.values():
+            pager.wal = wal
+        try:
+            yield
+            self.buffer.flush_dirty()
+            wal.commit()
+            for pager in self._pagers.values():
+                pager.sync()
+            wal.close(discard=True)
+        except BaseException:
+            # Leave the (uncommitted) log behind; the next open
+            # discards it.  Close the fd without removing the file.
+            wal.close(discard=False)
+            raise
+        finally:
+            self._wal = None
+            for pager in self._pagers.values():
+                pager.wal = None
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    def close(self) -> None:
+        """Flush and close every segment (idempotent)."""
+        if self._closed:
+            return
+        self.buffer.flush()
+        for pager in self._pagers.values():
+            pager.close()
+        self._pagers.clear()
+        self._closed = True
+
+    def __enter__(self) -> "Database":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise StorageError(f"database at {self.path} is closed")

@@ -1,0 +1,142 @@
+"""File-backed page storage (one file per segment).
+
+A :class:`Pager` owns one operating-system file holding an array of
+fixed-size pages.  It performs *raw* page I/O and records every
+physical access in the shared :class:`~repro.storage.stats.DiskStats`;
+it does **no caching** — that is the buffer pool's job, and keeping the
+layers separate is what makes the disk-access accounting trustworthy.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.errors import StorageError
+from repro.storage.page import DEFAULT_PAGE_SIZE
+from repro.storage.stats import DiskStats
+
+__all__ = ["Pager"]
+
+
+class Pager:
+    """Raw page I/O over a single file.
+
+    Attributes:
+        name: the segment name used for statistics attribution.
+        page_size: bytes per page.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        stats: DiskStats,
+        name: str | None = None,
+        page_size: int = DEFAULT_PAGE_SIZE,
+    ) -> None:
+        self._path = Path(path)
+        self.name = name if name is not None else self._path.stem
+        self.page_size = page_size
+        self._stats = stats
+        flags = os.O_RDWR | os.O_CREAT
+        self._fd = os.open(self._path, flags, 0o644)
+        size = os.fstat(self._fd).st_size
+        if size % page_size != 0:
+            os.close(self._fd)
+            raise StorageError(
+                f"{self._path}: size {size} is not a multiple of {page_size}"
+            )
+        self._n_pages = size // page_size
+        self._closed = False
+        #: Optional :class:`repro.storage.wal.WriteAheadLog`; when set,
+        #: every in-place page write is logged first.
+        self.wal = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Close the underlying file descriptor (idempotent)."""
+        if not self._closed:
+            os.close(self._fd)
+            self._closed = True
+
+    def __enter__(self) -> "Pager":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - defensive
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -- page I/O ----------------------------------------------------------------
+
+    @property
+    def n_pages(self) -> int:
+        """Number of allocated pages."""
+        return self._n_pages
+
+    def allocate(self) -> int:
+        """Extend the file by one zeroed page; returns its page number.
+
+        Allocation writes the page, which counts as a physical write.
+        """
+        self._check_open()
+        page_no = self._n_pages
+        os.pwrite(self._fd, b"\x00" * self.page_size, page_no * self.page_size)
+        self._n_pages += 1
+        self._stats.record_physical_write(self.name)
+        return page_no
+
+    def read_page(self, page_no: int) -> bytearray:
+        """Read page ``page_no`` from disk (a *physical read*)."""
+        self._check_open()
+        self._check_range(page_no)
+        data = os.pread(self._fd, self.page_size, page_no * self.page_size)
+        if len(data) != self.page_size:
+            raise StorageError(
+                f"{self.name}: short read of page {page_no} "
+                f"({len(data)}/{self.page_size} bytes)"
+            )
+        self._stats.record_physical_read(self.name)
+        if self._stats.trace_hook is not None:
+            self._stats.trace_hook(self.name, page_no)
+        return bytearray(data)
+
+    def write_page(self, page_no: int, data: bytes | bytearray) -> None:
+        """Write page ``page_no`` to disk (a *physical write*).
+
+        When a write-ahead log is attached (:attr:`wal`), the page
+        image is appended to the log before the in-place write.
+        """
+        self._check_open()
+        self._check_range(page_no)
+        if len(data) != self.page_size:
+            raise StorageError(
+                f"{self.name}: page payload is {len(data)} bytes, "
+                f"expected {self.page_size}"
+            )
+        if self.wal is not None:
+            self.wal.log_page(self.name, page_no, bytes(data))
+        os.pwrite(self._fd, bytes(data), page_no * self.page_size)
+        self._stats.record_physical_write(self.name)
+
+    def sync(self) -> None:
+        """fsync the file."""
+        self._check_open()
+        os.fsync(self._fd)
+
+    # -- checks ----------------------------------------------------------------------
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise StorageError(f"{self.name}: pager is closed")
+
+    def _check_range(self, page_no: int) -> None:
+        if not 0 <= page_no < self._n_pages:
+            raise StorageError(
+                f"{self.name}: page {page_no} out of range 0..{self._n_pages - 1}"
+            )

@@ -1,0 +1,238 @@
+"""Binary record codecs for PM and DM nodes.
+
+Two on-disk record formats:
+
+* **PM node record** (fixed 96 bytes) — the paper Section 2 tuple
+  ``(ID, x, y, z, e, parent, child1, child2, wing1, wing2)`` plus the
+  node's LOD-interval top and the footprint MBR that the paper notes
+  every internal node must record.
+* **DM node record** (variable) — the PM fields (minus the footprint,
+  which the 3D index supersedes) plus the similar-LOD connection-point
+  list of paper Section 4.
+
+Both use little-endian :mod:`struct` packing.  ``LOD_INFINITY`` for
+root intervals round-trips as an IEEE infinity.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.errors import RecordError
+from repro.geometry.primitives import Rect
+from repro.mesh.progressive import NULL_ID, PMNode
+
+__all__ = [
+    "PM_RECORD_SIZE",
+    "DMNodeRecord",
+    "encode_pm_node",
+    "decode_pm_node",
+    "encode_dm_node",
+    "decode_dm_node",
+    "dm_record_size",
+]
+
+_PM = struct.Struct("<i5d5i4d")
+PM_RECORD_SIZE = _PM.size
+
+_DM_FIXED = struct.Struct("<i5d5iH")
+_CONN_ENTRY = struct.Struct("<i")
+
+#: ``n_conn`` sentinel marking a delta+varint compressed connection
+#: list (extension; see :mod:`repro.storage.varint`).
+_COMPRESSED_CONN = 0xFFFF
+
+
+def encode_pm_node(node: PMNode) -> bytes:
+    """Serialise a PM node (requires a computed footprint)."""
+    if node.footprint is None:
+        raise RecordError(f"node {node.id} has no footprint; normalise first")
+    return _PM.pack(
+        node.id,
+        node.x,
+        node.y,
+        node.z,
+        node.e,
+        node.e_high,
+        node.parent,
+        node.child1,
+        node.child2,
+        node.wing1,
+        node.wing2,
+        node.footprint.min_x,
+        node.footprint.min_y,
+        node.footprint.max_x,
+        node.footprint.max_y,
+    )
+
+
+def decode_pm_node(payload: bytes) -> PMNode:
+    """Deserialise a PM node record."""
+    if len(payload) != PM_RECORD_SIZE:
+        raise RecordError(
+            f"PM record is {len(payload)} bytes, expected {PM_RECORD_SIZE}"
+        )
+    (
+        node_id,
+        x,
+        y,
+        z,
+        e,
+        e_high,
+        parent,
+        child1,
+        child2,
+        wing1,
+        wing2,
+        fx0,
+        fy0,
+        fx1,
+        fy1,
+    ) = _PM.unpack(payload)
+    node = PMNode(
+        node_id,
+        x,
+        y,
+        z,
+        error=e,
+        parent=parent,
+        child1=child1,
+        child2=child2,
+        wing1=wing1,
+        wing2=wing2,
+    )
+    node.e = e
+    node.e_high = e_high
+    node.footprint = Rect(fx0, fy0, fx1, fy1)
+    return node
+
+
+@dataclass(slots=True)
+class DMNodeRecord:
+    """A decoded Direct Mesh node.
+
+    ``connections`` is the similar-LOD connection-point list; the
+    interval is ``[e_low, e_high)`` with ``e_high`` infinite at roots.
+    """
+
+    id: int
+    x: float
+    y: float
+    z: float
+    e_low: float
+    e_high: float
+    parent: int
+    child1: int
+    child2: int
+    wing1: int
+    wing2: int
+    connections: list[int]
+
+    @property
+    def is_leaf(self) -> bool:
+        """True for original terrain points."""
+        return self.child1 == NULL_ID
+
+    def interval_contains(self, lod: float) -> bool:
+        """True if ``lod`` lies in ``[e_low, e_high)``."""
+        return self.e_low <= lod < self.e_high
+
+    def interval_intersects(self, lo: float, hi: float) -> bool:
+        """True if ``[e_low, e_high)`` intersects the closed ``[lo, hi]``."""
+        return self.e_low <= hi and self.e_high > lo
+
+
+def encode_dm_node(
+    node: PMNode, connections: list[int], compress: bool = False
+) -> bytes:
+    """Serialise a DM node with its connection-point list.
+
+    With ``compress`` the connection list is stored delta+varint coded
+    (typically 2-3x smaller); the format is self-describing, so
+    :func:`decode_dm_node` handles both encodings.
+    """
+    if len(connections) >= _COMPRESSED_CONN:
+        raise RecordError(
+            f"node {node.id}: {len(connections)} connections exceed u16"
+        )
+    head = _DM_FIXED.pack(
+        node.id,
+        node.x,
+        node.y,
+        node.z,
+        node.e,
+        node.e_high,
+        node.parent,
+        node.child1,
+        node.child2,
+        node.wing1,
+        node.wing2,
+        _COMPRESSED_CONN if compress else len(connections),
+    )
+    if compress:
+        from repro.storage.varint import encode_id_list
+
+        return head + encode_id_list(connections)
+    tail = struct.pack(f"<{len(connections)}i", *connections)
+    return head + tail
+
+
+def decode_dm_node(payload: bytes) -> DMNodeRecord:
+    """Deserialise a DM node record."""
+    if len(payload) < _DM_FIXED.size:
+        raise RecordError(
+            f"DM record is {len(payload)} bytes, below fixed part "
+            f"{_DM_FIXED.size}"
+        )
+    (
+        node_id,
+        x,
+        y,
+        z,
+        e_low,
+        e_high,
+        parent,
+        child1,
+        child2,
+        wing1,
+        wing2,
+        n_conn,
+    ) = _DM_FIXED.unpack_from(payload, 0)
+    if n_conn == _COMPRESSED_CONN:
+        from repro.storage.varint import decode_id_list
+
+        connections, end = decode_id_list(payload, _DM_FIXED.size)
+        if end != len(payload):
+            raise RecordError(
+                f"DM record has {len(payload) - end} trailing bytes"
+            )
+    else:
+        expected = _DM_FIXED.size + n_conn * _CONN_ENTRY.size
+        if len(payload) != expected:
+            raise RecordError(
+                f"DM record is {len(payload)} bytes, expected {expected} "
+                f"for {n_conn} connections"
+            )
+        connections = list(
+            struct.unpack_from(f"<{n_conn}i", payload, _DM_FIXED.size)
+        )
+    return DMNodeRecord(
+        node_id,
+        x,
+        y,
+        z,
+        e_low,
+        e_high,
+        parent,
+        child1,
+        child2,
+        wing1,
+        wing2,
+        connections,
+    )
+
+
+def dm_record_size(n_connections: int) -> int:
+    """On-disk size of a DM record with ``n_connections`` entries."""
+    return _DM_FIXED.size + n_connections * _CONN_ENTRY.size

@@ -1,0 +1,176 @@
+"""Disk-access statistics — the reproduction's measurement instrument.
+
+The paper measures "the number of disk accesses (obtained from Oracle's
+performance statistics report)" with the database buffer flushed before
+each test.  This module provides the equivalent: every page read or
+write anywhere in the storage engine is recorded here, attributed to
+the segment (table/index file) it touched.
+
+* A **physical read** is a page fetched from the underlying file
+  because it was not in the buffer pool — the paper's *disk access*.
+* A **logical read** is any page request, hit or miss.
+
+Use :meth:`DiskStats.measure` to scope counters to one query.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = ["DiskStats", "StatsSnapshot"]
+
+
+@dataclass(frozen=True)
+class StatsSnapshot:
+    """Immutable counter snapshot (totals and per-segment)."""
+
+    physical_reads: int
+    physical_writes: int
+    logical_reads: int
+    by_segment: dict[str, dict[str, int]]
+
+    @property
+    def disk_accesses(self) -> int:
+        """The paper's DA metric: physical page reads."""
+        return self.physical_reads
+
+    def delta(self, earlier: "StatsSnapshot") -> "StatsSnapshot":
+        """Counters accumulated since ``earlier``."""
+        segments: dict[str, dict[str, int]] = {}
+        names = set(self.by_segment) | set(earlier.by_segment)
+        for name in names:
+            now = self.by_segment.get(name, {})
+            before = earlier.by_segment.get(name, {})
+            seg = {
+                key: now.get(key, 0) - before.get(key, 0)
+                for key in ("physical_reads", "physical_writes", "logical_reads")
+            }
+            if any(seg.values()):
+                segments[name] = seg
+        return StatsSnapshot(
+            self.physical_reads - earlier.physical_reads,
+            self.physical_writes - earlier.physical_writes,
+            self.logical_reads - earlier.logical_reads,
+            segments,
+        )
+
+    def report(self) -> str:
+        """A human-readable statistics report (Oracle-style)."""
+        lines = [
+            "statistics report",
+            "-----------------",
+            f"physical reads : {self.physical_reads}",
+            f"physical writes: {self.physical_writes}",
+            f"logical reads  : {self.logical_reads}",
+        ]
+        if self.by_segment:
+            lines.append("per segment:")
+            for name in sorted(self.by_segment):
+                seg = self.by_segment[name]
+                lines.append(
+                    f"  {name:<24} pr={seg.get('physical_reads', 0):<8}"
+                    f" pw={seg.get('physical_writes', 0):<8}"
+                    f" lr={seg.get('logical_reads', 0)}"
+                )
+        return "\n".join(lines)
+
+
+class DiskStats:
+    """Mutable counters shared by all storage components of a database."""
+
+    def __init__(self) -> None:
+        self._physical_reads = 0
+        self._physical_writes = 0
+        self._logical_reads = 0
+        self._by_segment: dict[str, dict[str, int]] = {}
+        #: Optional callable ``(segment, page_no)`` invoked on every
+        #: physical read — used by :class:`repro.storage.trace.IOTracer`.
+        self.trace_hook = None
+
+    # -- recording (called by the pager / buffer pool) -------------------
+
+    def record_physical_read(self, segment: str, pages: int = 1) -> None:
+        """Count ``pages`` physical page reads against ``segment``."""
+        self._physical_reads += pages
+        self._segment(segment)["physical_reads"] += pages
+
+    def record_physical_write(self, segment: str, pages: int = 1) -> None:
+        """Count ``pages`` physical page writes against ``segment``."""
+        self._physical_writes += pages
+        self._segment(segment)["physical_writes"] += pages
+
+    def record_logical_read(self, segment: str, pages: int = 1) -> None:
+        """Count ``pages`` buffer requests against ``segment``."""
+        self._logical_reads += pages
+        self._segment(segment)["logical_reads"] += pages
+
+    def _segment(self, name: str) -> dict[str, int]:
+        bucket = self._by_segment.get(name)
+        if bucket is None:
+            bucket = {
+                "physical_reads": 0,
+                "physical_writes": 0,
+                "logical_reads": 0,
+            }
+            self._by_segment[name] = bucket
+        return bucket
+
+    # -- reading -----------------------------------------------------------
+
+    @property
+    def physical_reads(self) -> int:
+        """Total physical page reads since construction or reset."""
+        return self._physical_reads
+
+    @property
+    def physical_writes(self) -> int:
+        """Total physical page writes."""
+        return self._physical_writes
+
+    @property
+    def logical_reads(self) -> int:
+        """Total buffer page requests."""
+        return self._logical_reads
+
+    def snapshot(self) -> StatsSnapshot:
+        """An immutable copy of all counters."""
+        return StatsSnapshot(
+            self._physical_reads,
+            self._physical_writes,
+            self._logical_reads,
+            {name: dict(seg) for name, seg in self._by_segment.items()},
+        )
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        self._physical_reads = 0
+        self._physical_writes = 0
+        self._logical_reads = 0
+        self._by_segment.clear()
+
+    @contextmanager
+    def measure(self) -> Iterator["_Measurement"]:
+        """Scope counters to a block::
+
+            with stats.measure() as m:
+                run_query()
+            print(m.result.disk_accesses)
+        """
+        measurement = _Measurement(self.snapshot())
+        try:
+            yield measurement
+        finally:
+            measurement._finish(self.snapshot())
+
+
+class _Measurement:
+    """Holder for a scoped measurement; ``result`` is set on exit."""
+
+    def __init__(self, before: StatsSnapshot) -> None:
+        self._before = before
+        self.result: StatsSnapshot | None = None
+
+    def _finish(self, after: StatsSnapshot) -> None:
+        self.result = after.delta(self._before)

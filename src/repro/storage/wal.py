@@ -1,0 +1,165 @@
+"""Write-ahead logging for crash-safe store builds.
+
+Building a Direct Mesh store writes thousands of pages across several
+segments; a crash mid-build leaves the database directory in a state
+the readers cannot use.  :class:`WriteAheadLog` wraps a build (or any
+multi-segment mutation) in a simple physical-logging protocol:
+
+* :meth:`log_page` appends full page images to ``wal.log`` *before*
+  the pager writes them in place (the buffer-pool write-back path
+  calls this automatically when a WAL is attached);
+* :meth:`commit` fsyncs the log and writes a commit record;
+* :meth:`recover` (run automatically when a database with a WAL file
+  is opened) replays a committed log into the segments, or discards
+  an uncommitted one — so a torn build either completes or vanishes.
+
+The log format is deliberately simple — length-prefixed records with a
+CRC each — and the protocol is redo-only (no undo needed because the
+database is quiesced during builds).  This is not a concurrency
+mechanism; it exists so an interrupted ``python -m repro build`` never
+leaves a half-written database behind.
+
+Record layout (little endian)::
+
+    u32 crc | u32 kind | u32 name_len | name | u64 page_no | page bytes
+    kind 1 = page image, kind 2 = commit (no name/page)
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from pathlib import Path
+
+from repro.errors import StorageError
+
+__all__ = ["WriteAheadLog"]
+
+_HEADER = struct.Struct("<III")
+_PAGE_NO = struct.Struct("<Q")
+_KIND_PAGE = 1
+_KIND_COMMIT = 2
+
+WAL_FILENAME = "wal.log"
+
+
+class WriteAheadLog:
+    """A redo-only physical log over a database directory."""
+
+    def __init__(self, directory: str | Path, page_size: int) -> None:
+        self.path = Path(directory) / WAL_FILENAME
+        self._page_size = page_size
+        self._fd: int | None = None
+
+    # -- writing ------------------------------------------------------------
+
+    def begin(self) -> None:
+        """Open a fresh log (truncating any stale one)."""
+        self._fd = os.open(
+            self.path, os.O_RDWR | os.O_CREAT | os.O_TRUNC, 0o644
+        )
+
+    def log_page(self, segment: str, page_no: int, data: bytes) -> None:
+        """Append a page image; must be called before the in-place write."""
+        if self._fd is None:
+            raise StorageError("WAL not begun")
+        if len(data) != self._page_size:
+            raise StorageError(
+                f"WAL page image is {len(data)} bytes, "
+                f"expected {self._page_size}"
+            )
+        name = segment.encode("utf-8")
+        body = (
+            struct.pack("<II", _KIND_PAGE, len(name))
+            + name
+            + _PAGE_NO.pack(page_no)
+            + bytes(data)
+        )
+        crc = zlib.crc32(body)
+        os.write(self._fd, struct.pack("<I", crc) + body)
+
+    def commit(self) -> None:
+        """Seal the log: everything before this point is durable."""
+        if self._fd is None:
+            raise StorageError("WAL not begun")
+        body = struct.pack("<II", _KIND_COMMIT, 0)
+        os.write(self._fd, struct.pack("<I", zlib.crc32(body)) + body)
+        os.fsync(self._fd)
+
+    def close(self, discard: bool = True) -> None:
+        """Close (and by default remove) the log after a clean finish."""
+        if self._fd is not None:
+            os.close(self._fd)
+            self._fd = None
+        if discard and self.path.exists():
+            self.path.unlink()
+
+    # -- recovery ------------------------------------------------------------
+
+    @classmethod
+    def needs_recovery(cls, directory: str | Path) -> bool:
+        """True when a WAL file is present (clean shutdowns remove it)."""
+        return (Path(directory) / WAL_FILENAME).exists()
+
+    def recover(self, open_segment) -> str:
+        """Replay a committed log or discard an uncommitted one.
+
+        Args:
+            open_segment: callable ``name -> Segment`` used to apply
+                page images (typically ``database.segment``).
+
+        Returns:
+            ``"replayed"`` if a committed log was applied,
+            ``"discarded"`` if the log had no commit record (the torn
+            build's pages may be garbage, but no reader ever saw them
+            because the store metadata is written last).
+        """
+        try:
+            raw = self.path.read_bytes()
+        except FileNotFoundError:
+            return "discarded"
+        records, committed = self._parse(raw)
+        if not committed:
+            self.path.unlink()
+            return "discarded"
+        for segment_name, page_no, data in records:
+            segment = open_segment(segment_name)
+            while segment.n_pages <= page_no:
+                segment.allocate()
+            buf = segment.fetch(page_no)
+            buf[:] = data
+            segment.mark_dirty(page_no)
+        self.path.unlink()
+        return "replayed"
+
+    def _parse(
+        self, raw: bytes
+    ) -> tuple[list[tuple[str, int, bytes]], bool]:
+        records: list[tuple[str, int, bytes]] = []
+        offset = 0
+        committed = False
+        while offset + 12 <= len(raw):
+            (crc,) = struct.unpack_from("<I", raw, offset)
+            kind, name_len = struct.unpack_from("<II", raw, offset + 4)
+            if kind == _KIND_COMMIT:
+                body = raw[offset + 4 : offset + 12]
+                if zlib.crc32(body) != crc:
+                    break  # Torn commit: treat as uncommitted.
+                committed = True
+                offset += 12
+                continue
+            if kind != _KIND_PAGE:
+                break  # Corrupt tail.
+            total = 12 + name_len + 8 + self._page_size
+            if offset + total > len(raw):
+                break  # Torn record.
+            body = raw[offset + 4 : offset + total]
+            if zlib.crc32(body) != crc:
+                break
+            name = raw[offset + 12 : offset + 12 + name_len].decode("utf-8")
+            (page_no,) = _PAGE_NO.unpack_from(raw, offset + 12 + name_len)
+            data = raw[offset + 12 + name_len + 8 : offset + total]
+            records.append((name, page_no, data))
+            offset += total
+        return records, committed

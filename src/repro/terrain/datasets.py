@@ -1,0 +1,167 @@
+"""The two evaluation datasets (scaled analogs of the paper's data).
+
+The paper evaluates on a 2M-point mining terrain and the 17M-point
+USGS Crater Lake DEM, neither redistributable.  These builders produce
+deterministic synthetic analogs at laptop scale (see DESIGN.md):
+
+* :func:`foothills_dataset` — ridge-and-valley fractal terrain, the
+  2M-point analog (default 25k points);
+* :func:`crater_dataset` — caldera terrain, the 17M-point analog
+  (default 80k points).
+
+A :class:`TerrainDataset` bundles the raster field, the
+full-resolution TIN, the normalised progressive mesh, and the Direct
+Mesh connection lists — everything the stores and baselines build on.
+Set the environment variable ``REPRO_SCALE`` (a float) to scale both
+dataset sizes, e.g. ``REPRO_SCALE=4`` for a 100k/320k-point run.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field as dataclass_field
+
+from repro.core.connectivity import build_connection_lists
+from repro.errors import DatasetError
+from repro.geometry.primitives import Rect
+from repro.mesh.progressive import ProgressiveMesh
+from repro.mesh.simplify import SimplifyConfig, simplify_to_pm
+from repro.mesh.trimesh import TriMesh
+from repro.terrain.dem import DEM
+from repro.terrain.gridfield import GridField
+from repro.terrain.synthetic import crater_field, ridge_field
+
+__all__ = [
+    "TerrainDataset",
+    "foothills_dataset",
+    "crater_dataset",
+    "dataset_by_name",
+    "scale_factor",
+]
+
+#: Baseline point counts for the two analogs.
+FOOTHILLS_POINTS = 25_000
+CRATER_POINTS = 80_000
+
+
+def scale_factor() -> float:
+    """The ``REPRO_SCALE`` environment scaling (default 1.0)."""
+    raw = os.environ.get("REPRO_SCALE", "1")
+    try:
+        value = float(raw)
+    except ValueError as exc:
+        raise DatasetError(f"REPRO_SCALE={raw!r} is not a number") from exc
+    if value <= 0:
+        raise DatasetError(f"REPRO_SCALE must be positive, got {value}")
+    return value
+
+
+@dataclass
+class TerrainDataset:
+    """A fully prepared terrain dataset.
+
+    Attributes:
+        name: dataset identifier (cache key component).
+        field: the source raster.
+        mesh: the full-resolution TIN.
+        pm: the normalised progressive mesh built from ``mesh``.
+        connections: Direct Mesh similar-LOD connection lists.
+    """
+
+    name: str
+    field: GridField
+    mesh: TriMesh
+    pm: ProgressiveMesh
+    connections: dict[int, list[int]]
+
+    @property
+    def n_points(self) -> int:
+        """Number of full-resolution terrain points."""
+        return self.mesh.n_vertices
+
+    def bounds(self) -> Rect:
+        """The terrain extent in ``(x, y)``."""
+        return self.mesh.bounds()
+
+    def roi_for_fraction(self, fraction: float, cx: float, cy: float) -> Rect:
+        """A square ROI covering ``fraction`` of the dataset area,
+        centred as close to ``(cx, cy)`` as fits inside the bounds."""
+        if not 0 < fraction <= 1:
+            raise DatasetError(f"fraction must be in (0, 1], got {fraction}")
+        bounds = self.bounds()
+        side = (bounds.area * fraction) ** 0.5
+        half = side / 2
+        cx = min(max(cx, bounds.min_x + half), bounds.max_x - half)
+        cy = min(max(cy, bounds.min_y + half), bounds.max_y - half)
+        return Rect(cx - half, cy - half, cx + half, cy + half)
+
+
+def _prepare(
+    name: str,
+    field: GridField,
+    n_points: int,
+    seed: int,
+    simplify_config: SimplifyConfig | None,
+) -> TerrainDataset:
+    dem = DEM(field, name)
+    mesh = dem.to_scattered_trimesh(n_points, seed=seed)
+    if simplify_config is None:
+        # Collapses are ordered by quadric error (the paper pre-processes
+        # with QEM [7]) but each node records the *vertical distance*
+        # measure, the unit the paper's LOD axis uses.
+        simplify_config = SimplifyConfig(error_measure="vertical")
+    pm = simplify_to_pm(mesh, simplify_config)
+    pm.normalize_lod()
+    connections = build_connection_lists(pm)
+    return TerrainDataset(name, field, mesh, pm, connections)
+
+
+def foothills_dataset(
+    n_points: int | None = None,
+    seed: int = 42,
+    simplify_config: SimplifyConfig | None = None,
+) -> TerrainDataset:
+    """The 2M-point mining-terrain analog (ridge-and-valley fractal).
+
+    Args:
+        n_points: terrain samples (default 25k x ``REPRO_SCALE``).
+        seed: RNG seed for both relief and sampling.
+        simplify_config: PM construction options.
+    """
+    if n_points is None:
+        n_points = int(FOOTHILLS_POINTS * scale_factor())
+    field = ridge_field(
+        exponent=9, roughness=0.55, amplitude=120.0, cell_size=10.0, seed=seed
+    )
+    return _prepare("foothills", field, n_points, seed, simplify_config)
+
+
+def crater_dataset(
+    n_points: int | None = None,
+    seed: int = 7,
+    simplify_config: SimplifyConfig | None = None,
+) -> TerrainDataset:
+    """The 17M-point Crater Lake DEM analog (caldera terrain)."""
+    if n_points is None:
+        n_points = int(CRATER_POINTS * scale_factor())
+    field = crater_field(
+        exponent=9,
+        rim_radius_fraction=0.55,
+        rim_height=250.0,
+        bowl_depth=350.0,
+        noise_amplitude=40.0,
+        cell_size=10.0,
+        seed=seed,
+    )
+    return _prepare("crater", field, n_points, seed, simplify_config)
+
+
+def dataset_by_name(
+    name: str, n_points: int | None = None, seed: int | None = None
+) -> TerrainDataset:
+    """Dispatch on dataset name (``"foothills"`` or ``"crater"``)."""
+    if name == "foothills":
+        return foothills_dataset(n_points, seed if seed is not None else 42)
+    if name == "crater":
+        return crater_dataset(n_points, seed if seed is not None else 7)
+    raise DatasetError(f"unknown dataset {name!r}")

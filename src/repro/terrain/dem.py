@@ -1,0 +1,88 @@
+"""Digital elevation models and grid-to-TIN conversion.
+
+A :class:`DEM` wraps a :class:`~repro.terrain.gridfield.GridField` and
+produces the full-resolution triangular meshes the MTM pipeline starts
+from, either by triangulating the raster directly or by scattering a
+target number of sample points (the shape the paper's datasets have:
+irregular 3D point sets).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DatasetError
+from repro.mesh.trimesh import TriMesh
+from repro.terrain.gridfield import GridField
+
+__all__ = ["DEM"]
+
+
+class DEM:
+    """A terrain model backed by a raster elevation grid."""
+
+    def __init__(self, field: GridField, name: str = "dem") -> None:
+        self.field = field
+        self.name = name
+
+    # -- TIN extraction -----------------------------------------------------
+
+    def to_grid_trimesh(self, max_points: int | None = None) -> TriMesh:
+        """Triangulate the raster directly (optionally downsampled).
+
+        Args:
+            max_points: downsample so the mesh has at most roughly this
+                many vertices.
+        """
+        field = self.field
+        if max_points is not None:
+            total = field.n_rows * field.n_cols
+            if total > max_points:
+                factor = int(np.ceil(np.sqrt(total / max_points)))
+                field = field.downsampled(factor)
+        return TriMesh.from_grid(field.heights.tolist(), field.cell_size)
+
+    def to_scattered_trimesh(self, n_points: int, seed: int = 0) -> TriMesh:
+        """A TIN over ``n_points`` scattered samples of the surface.
+
+        Points are drawn from a jittered grid (quasi-uniform in
+        ``(x, y)``, like surveyed terrain data), elevations are
+        bilinear samples; the four corners are always included so the TIN
+        covers the full extent.
+        """
+        if n_points < 4:
+            raise DatasetError(f"need at least 4 points, got {n_points}")
+        rng = np.random.default_rng(seed)
+        bounds = self.field.bounds()
+        side = int(np.ceil(np.sqrt(n_points)))
+        gx = np.linspace(bounds.min_x, bounds.max_x, side + 1)[:-1]
+        gy = np.linspace(bounds.min_y, bounds.max_y, side + 1)[:-1]
+        cell_w = (bounds.max_x - bounds.min_x) / side
+        cell_h = (bounds.max_y - bounds.min_y) / side
+        xx, yy = np.meshgrid(gx, gy, indexing="ij")
+        xs = (xx + rng.uniform(0, cell_w, xx.shape)).ravel()
+        ys = (yy + rng.uniform(0, cell_h, yy.shape)).ravel()
+        keep = rng.permutation(len(xs))[: n_points - 4]
+        xs = xs[keep]
+        ys = ys[keep]
+        corner_x = np.array(
+            [bounds.min_x, bounds.min_x, bounds.max_x, bounds.max_x]
+        )
+        corner_y = np.array(
+            [bounds.min_y, bounds.max_y, bounds.min_y, bounds.max_y]
+        )
+        xs = np.concatenate([xs, corner_x])
+        ys = np.concatenate([ys, corner_y])
+        zs = self.field.sample_many(xs, ys)
+        points = list(zip(xs.tolist(), ys.tolist(), zs.tolist()))
+        return TriMesh.from_points(points)
+
+    # -- convenience ------------------------------------------------------------
+
+    def bounds(self):
+        """The terrain extent in ``(x, y)``."""
+        return self.field.bounds()
+
+    def elevation_at(self, x: float, y: float) -> float:
+        """Bilinear elevation at ``(x, y)``."""
+        return self.field.sample(x, y)

@@ -1,0 +1,190 @@
+"""Synthetic terrain generators.
+
+The paper evaluates on two real datasets we cannot redistribute: a
+2M-point terrain from a mining company and the 17M-point USGS Crater
+Lake DEM.  These generators produce their laptop-scale statistical
+analogs (see DESIGN.md, substitutions):
+
+* :func:`fractal_field` / :func:`ridge_field` — diamond-square fractal
+  relief with optional ridge shaping: rolling mining-country foothills;
+* :func:`crater_field` — a caldera (raised rim, deep bowl, optional
+  central cone) over fractal noise: the Crater Lake analog;
+* :func:`gaussian_hills_field` — smooth blobs, handy in tests.
+
+All generators are deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DatasetError
+from repro.terrain.gridfield import GridField
+
+__all__ = [
+    "fractal_field",
+    "ridge_field",
+    "crater_field",
+    "gaussian_hills_field",
+]
+
+
+def _grid_size_for(exponent: int) -> int:
+    return (1 << exponent) + 1
+
+
+def fractal_field(
+    exponent: int = 8,
+    roughness: float = 0.55,
+    amplitude: float = 120.0,
+    cell_size: float = 10.0,
+    seed: int = 0,
+) -> GridField:
+    """Diamond-square fractal terrain.
+
+    Args:
+        exponent: grid is ``(2**exponent + 1)`` points on a side.
+        roughness: per-octave amplitude decay in ``(0, 1)``; higher is
+            rougher.
+        amplitude: overall elevation scale.
+        cell_size: ground distance between samples.
+        seed: RNG seed.
+    """
+    if not 0 < roughness < 1:
+        raise DatasetError(f"roughness must be in (0, 1), got {roughness}")
+    if exponent < 1 or exponent > 13:
+        raise DatasetError(f"exponent must be in 1..13, got {exponent}")
+    rng = np.random.default_rng(seed)
+    n = _grid_size_for(exponent)
+    h = np.zeros((n, n), dtype=np.float64)
+    h[0, 0], h[0, -1], h[-1, 0], h[-1, -1] = rng.normal(0, amplitude, 4)
+    step = n - 1
+    scale = amplitude
+    while step > 1:
+        half = step // 2
+        # Diamond step: centres of squares.
+        rows = np.arange(half, n, step)
+        cols = np.arange(half, n, step)
+        rr, cc = np.meshgrid(rows, cols, indexing="ij")
+        avg = (
+            h[rr - half, cc - half]
+            + h[rr - half, cc + half]
+            + h[rr + half, cc - half]
+            + h[rr + half, cc + half]
+        ) / 4.0
+        h[rr, cc] = avg + rng.normal(0, scale, rr.shape)
+        # Square step: edge midpoints, both lattices.
+        for row_start, col_start in ((0, half), (half, 0)):
+            rows = np.arange(row_start, n, step)
+            cols = np.arange(col_start, n, step)
+            if len(rows) == 0 or len(cols) == 0:
+                continue
+            rr, cc = np.meshgrid(rows, cols, indexing="ij")
+            total = np.zeros(rr.shape)
+            count = np.zeros(rr.shape)
+            for dr, dc in ((-half, 0), (half, 0), (0, -half), (0, half)):
+                r2 = rr + dr
+                c2 = cc + dc
+                valid = (r2 >= 0) & (r2 < n) & (c2 >= 0) & (c2 < n)
+                total[valid] += h[r2[valid], c2[valid]]
+                count[valid] += 1
+            h[rr, cc] = total / np.maximum(count, 1) + rng.normal(
+                0, scale, rr.shape
+            )
+        step = half
+        scale *= roughness
+    return GridField(h, cell_size)
+
+
+def ridge_field(
+    exponent: int = 8,
+    roughness: float = 0.55,
+    amplitude: float = 120.0,
+    ridge_strength: float = 0.6,
+    cell_size: float = 10.0,
+    seed: int = 0,
+) -> GridField:
+    """Fractal terrain shaped into ridge-and-valley relief.
+
+    Applying ``1 - |.|`` to a zero-centred fractal produces sharp
+    ridge lines — the texture of fold-mountain mining country (the
+    2M-point dataset analog).
+    """
+    base = fractal_field(exponent, roughness, amplitude, cell_size, seed)
+    h = base.heights
+    peak = np.abs(h).max() or 1.0
+    ridged = (1.0 - np.abs(h) / peak) * amplitude
+    # Re-add a low-frequency tilt so valleys drain somewhere.
+    extra = fractal_field(
+        max(1, exponent - 3), roughness, amplitude * 0.4, cell_size, seed + 1
+    )
+    coarse = np.kron(
+        extra.heights,
+        np.ones(
+            (
+                -(-h.shape[0] // extra.heights.shape[0]),
+                -(-h.shape[1] // extra.heights.shape[1]),
+            )
+        ),
+    )[: h.shape[0], : h.shape[1]]
+    return GridField(ridged + coarse, cell_size)
+
+
+def crater_field(
+    exponent: int = 8,
+    rim_radius_fraction: float = 0.55,
+    rim_height: float = 250.0,
+    bowl_depth: float = 350.0,
+    noise_amplitude: float = 40.0,
+    cell_size: float = 10.0,
+    seed: int = 0,
+) -> GridField:
+    """A caldera terrain: raised rim, deep bowl, fractal detail.
+
+    The Crater Lake analog (the 17M-point dataset): one dominant
+    radial structure — steep rim walls where simplification keeps
+    many points, a flat lake floor where it keeps few — which gives
+    the strong LOD skew the evaluation relies on.
+    """
+    noise = fractal_field(
+        exponent, 0.55, noise_amplitude, cell_size, seed
+    )
+    n = noise.heights.shape[0]
+    coords = np.arange(n, dtype=np.float64)
+    xx, yy = np.meshgrid(coords, coords, indexing="ij")
+    cx = cy = (n - 1) / 2.0
+    r = np.sqrt((xx - cx) ** 2 + (yy - cy) ** 2) / ((n - 1) / 2.0)
+    rim = rim_radius_fraction
+    profile = np.where(
+        r < rim,
+        # Inside: bowl rising steeply to the rim crest.
+        rim_height - bowl_depth * (1.0 - (r / rim) ** 4),
+        # Outside: flank decaying from the crest.
+        rim_height * np.exp(-((r - rim) / 0.35) ** 2),
+    )
+    # The lake surface: clip the bowl floor flat.
+    lake_level = rim_height - bowl_depth * 0.55
+    profile = np.maximum(profile, np.where(r < rim, lake_level, -np.inf))
+    return GridField(profile + noise.heights, cell_size)
+
+
+def gaussian_hills_field(
+    size: int = 129,
+    n_hills: int = 12,
+    amplitude: float = 80.0,
+    cell_size: float = 10.0,
+    seed: int = 0,
+) -> GridField:
+    """Smooth terrain made of random Gaussian bumps (test-friendly)."""
+    if size < 2:
+        raise DatasetError(f"size must be >= 2, got {size}")
+    rng = np.random.default_rng(seed)
+    coords = np.arange(size, dtype=np.float64)
+    xx, yy = np.meshgrid(coords, coords, indexing="ij")
+    h = np.zeros((size, size))
+    for _ in range(n_hills):
+        cx, cy = rng.uniform(0, size - 1, 2)
+        sigma = rng.uniform(size * 0.05, size * 0.25)
+        height = rng.uniform(0.2, 1.0) * amplitude * rng.choice((-0.6, 1.0))
+        h += height * np.exp(-(((xx - cx) ** 2 + (yy - cy) ** 2) / (2 * sigma**2)))
+    return GridField(h, cell_size)

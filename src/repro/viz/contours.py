@@ -1,0 +1,143 @@
+"""Contour-line extraction (marching squares) and ASCII contour maps.
+
+Terrain queries return point sets; contour lines are the classic
+cartographic way to check that a retrieved approximation still
+captures the relief.  The extractor runs marching squares over a
+raster (either a :class:`~repro.terrain.gridfield.GridField` or a
+rasterised query result) and returns polyline segments per level;
+:func:`render_contours` draws them as an ASCII map.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.terrain.gridfield import GridField
+
+__all__ = ["contour_segments", "render_contours"]
+
+# Cell-edge interpolation points, keyed by edge index:
+# 0 = top (between corner 0-1), 1 = right (1-2), 2 = bottom (3-2),
+# 3 = left (0-3).  Corners: 0 = (r, c), 1 = (r, c+1), 2 = (r+1, c+1),
+# 3 = (r+1, c).
+_CASE_EDGES: dict[int, list[tuple[int, int]]] = {
+    1: [(3, 2)],
+    2: [(2, 1)],
+    3: [(3, 1)],
+    4: [(0, 1)],
+    5: [(3, 0), (2, 1)],
+    6: [(0, 2)],
+    7: [(3, 0)],
+    8: [(3, 0)],
+    9: [(0, 2)],
+    10: [(3, 2), (0, 1)],
+    11: [(0, 1)],
+    12: [(3, 1)],
+    13: [(2, 1)],
+    14: [(3, 2)],
+}
+
+
+def contour_segments(
+    field: GridField, level: float
+) -> list[tuple[tuple[float, float], tuple[float, float]]]:
+    """Marching-squares segments of the iso-line at ``level``.
+
+    Returns ``((x0, y0), (x1, y1))`` pairs in terrain coordinates.
+    """
+    h = field.heights
+    rows, cols = h.shape
+    ox, oy = field.origin
+    cell = field.cell_size
+    segments: list[tuple[tuple[float, float], tuple[float, float]]] = []
+
+    def edge_point(r: int, c: int, edge: int) -> tuple[float, float]:
+        # Interpolate where the iso-line crosses the cell edge.
+        corners = {
+            0: ((r, c), (r, c + 1)),
+            1: ((r, c + 1), (r + 1, c + 1)),
+            2: ((r + 1, c), (r + 1, c + 1)),
+            3: ((r, c), (r + 1, c)),
+        }
+        (r0, c0), (r1, c1) = corners[edge]
+        v0 = h[r0, c0]
+        v1 = h[r1, c1]
+        t = 0.5 if v1 == v0 else (level - v0) / (v1 - v0)
+        t = min(1.0, max(0.0, t))
+        rr = r0 + (r1 - r0) * t
+        cc = c0 + (c1 - c0) * t
+        return (ox + cc * cell, oy + rr * cell)
+
+    above = h >= level
+    for r in range(rows - 1):
+        for c in range(cols - 1):
+            case = (
+                (8 if above[r, c] else 0)
+                | (4 if above[r, c + 1] else 0)
+                | (2 if above[r + 1, c + 1] else 0)
+                | (1 if above[r + 1, c] else 0)
+            )
+            for e0, e1 in _CASE_EDGES.get(case, ()):
+                segments.append((edge_point(r, c, e0), edge_point(r, c, e1)))
+    return segments
+
+
+def render_contours(
+    field: GridField,
+    levels: list[float] | int = 6,
+    width: int = 72,
+    height: int = 28,
+) -> str:
+    """An ASCII contour map of ``field``.
+
+    Args:
+        field: the raster.
+        levels: explicit iso-levels, or a count to space evenly
+            between the elevation extremes.
+        width, height: character-grid size.
+    """
+    z_min, z_max = field.elevation_range()
+    if isinstance(levels, int):
+        if levels < 1:
+            raise ReproError("need at least one contour level")
+        step = (z_max - z_min) / (levels + 1)
+        if step == 0:
+            levels_list = [z_min]
+        else:
+            levels_list = [z_min + step * (i + 1) for i in range(levels)]
+    else:
+        levels_list = list(levels)
+        if not levels_list:
+            raise ReproError("need at least one contour level")
+
+    bounds = field.bounds()
+    grid = [[" "] * width for _ in range(height)]
+    glyphs = ".:-=+*#%@"
+    for index, level in enumerate(levels_list):
+        glyph = glyphs[min(index, len(glyphs) - 1)]
+        for (x0, y0), (x1, y1) in contour_segments(field, level):
+            # Rasterise the segment with a few samples.
+            steps = max(
+                2,
+                int(
+                    max(
+                        abs(x1 - x0) / (bounds.width or 1) * width,
+                        abs(y1 - y0) / (bounds.height or 1) * height,
+                    )
+                )
+                + 1,
+            )
+            for i in range(steps + 1):
+                t = i / steps
+                x = x0 + (x1 - x0) * t
+                y = y0 + (y1 - y0) * t
+                col = int(
+                    (x - bounds.min_x) / (bounds.width or 1) * (width - 1)
+                )
+                row = int(
+                    (y - bounds.min_y) / (bounds.height or 1) * (height - 1)
+                )
+                if 0 <= col < width and 0 <= row < height:
+                    grid[height - 1 - row][col] = glyph
+    return "\n".join("".join(row) for row in grid)

@@ -1,0 +1,99 @@
+"""Tests for approximation-quality measurement."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.geometry.primitives import Rect
+from repro.terrain.analysis import measure_against_field, surface_sampler
+from repro.terrain.gridfield import GridField
+
+
+def flat_quad(z=5.0):
+    vertices = [(0, 0, z), (10, 0, z), (10, 10, z), (0, 10, z)]
+    triangles = [(0, 1, 2), (0, 2, 3)]
+    return vertices, triangles
+
+
+class TestSurfaceSampler:
+    def test_interpolates_plane(self):
+        vertices = [(0, 0, 0.0), (10, 0, 10.0), (10, 10, 20.0), (0, 10, 10.0)]
+        triangles = [(0, 1, 2), (0, 2, 3)]
+        sample = surface_sampler(vertices, triangles)
+        # The surface z = x + y on both triangles.
+        assert sample(5, 0) == pytest.approx(5.0)
+        assert sample(2, 2) == pytest.approx(4.0)
+        assert sample(9, 9) == pytest.approx(18.0)
+
+    def test_outside_returns_none(self):
+        sample = surface_sampler(*flat_quad())
+        assert sample(50, 50) is None
+
+    def test_rejects_empty(self):
+        with pytest.raises(ReproError):
+            surface_sampler([(0, 0, 0)], [])
+
+    def test_boundary_point(self):
+        sample = surface_sampler(*flat_quad())
+        assert sample(0, 0) == pytest.approx(5.0)
+
+
+class TestMeasureAgainstField:
+    def test_exact_surface_zero_error(self):
+        field = GridField(np.full((11, 11), 5.0), cell_size=1.0)
+        vertices, triangles = flat_quad(z=5.0)
+        err = measure_against_field(vertices, triangles, field)
+        assert err.rmse == pytest.approx(0.0, abs=1e-12)
+        assert err.max_error == pytest.approx(0.0, abs=1e-12)
+        assert err.coverage == 1.0
+
+    def test_offset_surface_measures_offset(self):
+        field = GridField(np.full((11, 11), 5.0), cell_size=1.0)
+        vertices, triangles = flat_quad(z=7.5)
+        err = measure_against_field(vertices, triangles, field)
+        assert err.rmse == pytest.approx(2.5)
+        assert err.mean_error == pytest.approx(2.5)
+
+    def test_no_coverage(self):
+        field = GridField(np.zeros((4, 4)))
+        vertices, triangles = flat_quad()
+        err = measure_against_field(
+            vertices, triangles, field, roi=Rect(100, 100, 120, 120)
+        )
+        assert err.samples == 0
+        assert err.coverage == 0.0
+
+    def test_error_tracks_query_lod(self, session_db, hills_dataset):
+        """Coarser LOD queries produce larger measured vertical error —
+        the end-to-end quality guarantee of the whole pipeline."""
+        ds = hills_dataset
+        store = session_db["dm"]
+        roi = ds.bounds().scaled(0.7)
+        measured = []
+        for fraction in (0.005, 0.1):
+            lod = ds.pm.max_lod() * fraction
+            result = store.uniform_query(roi, lod)
+            vertices, triangles = result.vertex_mesh()
+            err = measure_against_field(
+                vertices, triangles, ds.field, samples_per_side=25
+            )
+            assert err.samples > 0
+            measured.append(err.rmse)
+        assert measured[0] < measured[1]
+
+    def test_fine_query_error_commensurate_with_lod(
+        self, session_db, hills_dataset
+    ):
+        ds = hills_dataset
+        store = session_db["dm"]
+        roi = ds.bounds().scaled(0.5)
+        lod = ds.pm.max_lod() * 0.05
+        result = store.uniform_query(roi, lod)
+        vertices, triangles = result.vertex_mesh()
+        err = measure_against_field(
+            vertices, triangles, ds.field, samples_per_side=25
+        )
+        # RMSE should be on the order of the LOD tolerance, not wildly
+        # beyond it (vertical-distance errors are per-collapse, so the
+        # accumulated surface deviation may exceed e somewhat).
+        assert err.rmse <= lod * 4

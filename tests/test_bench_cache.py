@@ -1,0 +1,81 @@
+"""Tests for the benchmark environment cache."""
+
+import pytest
+
+from repro.bench.cache import SCHEMA_VERSION, _hdov_grid_for, load_environment
+
+
+@pytest.fixture
+def cache_dir(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    return tmp_path
+
+
+class TestGridSizing:
+    def test_small_dataset_small_grid(self):
+        assert _hdov_grid_for(2_000) == 2
+        assert _hdov_grid_for(20_000) == 4
+        assert _hdov_grid_for(60_000) == 8
+
+    def test_grid_capped(self):
+        assert _hdov_grid_for(10**9) == 64
+
+
+class TestLoadEnvironment:
+    def test_build_then_reload(self, cache_dir):
+        env = load_environment("foothills", 600)
+        try:
+            key = f"foothills-600-v{SCHEMA_VERSION}"
+            assert (cache_dir / key / "COMPLETE").exists()
+            assert (cache_dir / key / "dataset.pickle").exists()
+            n_nodes = len(env.dataset.pm.nodes)
+            roi = env.dataset.bounds().scaled(0.5)
+            lod = env.dataset.pm.average_lod()
+            first = set(env.dm.uniform_query(roi, lod).nodes)
+        finally:
+            env.close()
+        # Second load must come from the cache and agree exactly.
+        env2 = load_environment("foothills", 600)
+        try:
+            assert len(env2.dataset.pm.nodes) == n_nodes
+            assert set(env2.dm.uniform_query(roi, lod).nodes) == first
+        finally:
+            env2.close()
+
+    def test_rebuild_flag(self, cache_dir):
+        env = load_environment("foothills", 600)
+        env.close()
+        key = f"foothills-600-v{SCHEMA_VERSION}"
+        marker = cache_dir / key / "marker"
+        marker.touch()
+        env = load_environment("foothills", 600, rebuild=True)
+        env.close()
+        assert not marker.exists()  # Directory was wiped.
+
+    def test_incomplete_cache_rebuilt(self, cache_dir):
+        env = load_environment("foothills", 600)
+        env.close()
+        key = f"foothills-600-v{SCHEMA_VERSION}"
+        (cache_dir / key / "COMPLETE").unlink()
+        env = load_environment("foothills", 600)
+        try:
+            assert (cache_dir / key / "COMPLETE").exists()
+        finally:
+            env.close()
+
+    def test_corrupt_pickle_raises_cleanly(self, cache_dir):
+        from repro.errors import DatasetError
+
+        env = load_environment("foothills", 600)
+        env.close()
+        key = f"foothills-600-v{SCHEMA_VERSION}"
+        (cache_dir / key / "dataset.pickle").write_bytes(b"garbage")
+        with pytest.raises(DatasetError):
+            load_environment("foothills", 600)
+
+    def test_pool_size_respected(self, cache_dir):
+        env = load_environment("foothills", 600, pool_pages=33)
+        try:
+            assert env.database.buffer.capacity == 33
+        finally:
+            env.close()

@@ -1,0 +1,151 @@
+"""Tests for the benchmark harness: workloads, tables, measurement."""
+
+import pytest
+
+from repro.bench.reporting import SeriesTable
+from repro.bench.runner import average_over
+from repro.bench.workload import Workload
+
+
+class TestWorkload:
+    def test_centers_deterministic(self, hills_dataset):
+        a = Workload(hills_dataset, n_locations=7, seed=5).centers()
+        b = Workload(hills_dataset, n_locations=7, seed=5).centers()
+        c = Workload(hills_dataset, n_locations=7, seed=6).centers()
+        assert a == b
+        assert a != c
+        assert len(a) == 7
+
+    def test_centers_inside_bounds(self, hills_dataset):
+        wl = Workload(hills_dataset, n_locations=30)
+        bounds = hills_dataset.bounds()
+        for x, y in wl.centers():
+            assert bounds.contains_point(x, y)
+
+    def test_roi_area(self, hills_dataset):
+        wl = Workload(hills_dataset)
+        roi = wl.roi(0.05, wl.centers()[0])
+        assert roi.area == pytest.approx(
+            hills_dataset.bounds().area * 0.05, rel=0.01
+        )
+
+    def test_plane_respects_angle_fraction(self, hills_dataset):
+        wl = Workload(hills_dataset)
+        roi = wl.roi(0.1, wl.centers()[0])
+        shallow = wl.plane(roi, 0.1, 0.2)
+        steep = wl.plane(roi, 0.1, 0.8)
+        assert steep.e_max >= shallow.e_max
+        assert shallow.e_min == steep.e_min == 0.1
+
+    def test_plane_emax_capped(self, hills_dataset):
+        wl = Workload(hills_dataset)
+        roi = wl.roi(0.02, wl.centers()[0])  # Tiny ROI -> huge theta.
+        plane = wl.plane(roi, 0.0, 0.99)
+        assert plane.e_max <= hills_dataset.pm.max_lod() * 1.02
+
+    def test_uniform_lod(self, hills_dataset):
+        wl = Workload(hills_dataset)
+        assert wl.uniform_lod(0.5) == pytest.approx(
+            hills_dataset.pm.max_lod() * 0.5
+        )
+
+
+class TestSeriesTable:
+    def make(self):
+        t = SeriesTable("exp1", "demo", "x", ["A", "B"])
+        t.add_row(1, {"A": 10, "B": 20})
+        t.add_row(2, {"A": 15, "B": 40})
+        return t
+
+    def test_text_output(self):
+        text = self.make().to_text()
+        assert "exp1" in text
+        assert "A" in text and "B" in text
+        assert "15" in text
+
+    def test_csv_output(self, tmp_path):
+        path = self.make().to_csv(tmp_path)
+        content = path.read_text().strip().split("\n")
+        assert content[0] == "x,A,B"
+        assert content[1] == "1,10,20"
+
+    def test_columns_and_x(self):
+        t = self.make()
+        assert t.column("A") == [10, 15]
+        assert t.x_values() == [1, 2]
+
+    def test_dominates(self):
+        t = self.make()
+        assert t.dominates("A", "B")
+        assert not t.dominates("B", "A")
+        assert t.dominates("A", "B", at_least=2.0)
+        assert not t.dominates("A", "B", at_least=3.0)
+
+    def test_dominates_missing_column(self):
+        t = self.make()
+        assert not t.dominates("A", "Z")
+
+    def test_monotonic(self):
+        t = self.make()
+        assert t.is_monotonic("A", increasing=True)
+        assert not t.is_monotonic("A", increasing=False)
+
+    def test_monotonic_tolerates_noise(self):
+        t = SeriesTable("e", "t", "x", ["A"])
+        for x, v in [(1, 100), (2, 95), (3, 120)]:  # 5% dip allowed.
+            t.add_row(x, {"A": v})
+        assert t.is_monotonic("A", increasing=True, tolerance=0.1)
+        assert not t.is_monotonic("A", increasing=True, tolerance=0.01)
+
+    def test_meta_rendered(self):
+        t = self.make()
+        t.meta["dataset"] = "hills"
+        assert "dataset=hills" in t.to_text()
+
+
+class TestRunner:
+    def test_average_over(self):
+        calls = []
+
+        def measure(center):
+            calls.append(center)
+            return {"M": center[0]}
+
+        result = average_over([(1, 0), (3, 0)], measure)
+        assert result == {"M": 2.0}
+        assert calls == [(1, 0), (3, 0)]
+
+    def test_measure_uniform_all_methods(self, session_db, hills_dataset):
+        from repro.bench.cache import ExperimentEnv
+        from repro.bench.runner import measure_uniform
+
+        env = ExperimentEnv(
+            dataset=hills_dataset,
+            database=session_db["db"],
+            dm=session_db["dm"],
+            pm_store=session_db["pm"],
+            hdov=session_db["hdov"],
+        )
+        roi = hills_dataset.bounds().scaled(0.3)
+        result = measure_uniform(env, roi, hills_dataset.pm.average_lod())
+        assert set(result) == {"DM", "PM", "HDoV"}
+        assert all(v > 0 for v in result.values())
+
+    def test_measure_viewdep_all_methods(self, session_db, hills_dataset):
+        from repro.bench.cache import ExperimentEnv
+        from repro.bench.runner import measure_viewdep
+        from repro.geometry.plane import QueryPlane
+
+        env = ExperimentEnv(
+            dataset=hills_dataset,
+            database=session_db["db"],
+            dm=session_db["dm"],
+            pm_store=session_db["pm"],
+            hdov=session_db["hdov"],
+        )
+        ds = hills_dataset
+        roi = ds.bounds().scaled(0.3)
+        plane = QueryPlane(roi, ds.pm.max_lod() * 0.02, ds.pm.max_lod() * 0.5)
+        result = measure_viewdep(env, plane)
+        assert set(result) == {"DM-SB", "DM-MB", "PM", "HDoV"}
+        assert result["DM-MB"] <= result["PM"]

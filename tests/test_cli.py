@@ -1,0 +1,186 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def built_db(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "db"
+    code = main(
+        [
+            "build",
+            str(path),
+            "--dataset",
+            "foothills",
+            "--points",
+            "1500",
+            "--seed",
+            "9",
+        ]
+    )
+    assert code == 0
+    return path
+
+
+class TestBuild:
+    def test_build_output(self, built_db, capsys):
+        main(["info", str(built_db)])
+        out = capsys.readouterr().out
+        assert "dm_nodes" in out
+        assert "dm_rtree" in out
+        assert "max LOD" in out
+
+    def test_build_compressed(self, tmp_path, capsys):
+        code = main(
+            [
+                "build",
+                str(tmp_path / "db"),
+                "--points",
+                "1200",
+                "--compress",
+            ]
+        )
+        assert code == 0
+        assert "data pages" in capsys.readouterr().out
+
+    def test_build_from_dem(self, tmp_path, capsys):
+        from repro.terrain import gaussian_hills_field, write_esri_ascii
+
+        dem = tmp_path / "dem.asc"
+        write_esri_ascii(dem, gaussian_hills_field(size=48, seed=2))
+        code = main(
+            ["build", str(tmp_path / "db"), "--dem", str(dem), "--points", "900"]
+        )
+        assert code == 0
+
+
+class TestQuery:
+    def test_query_full_extent(self, built_db, capsys):
+        code = main(["query", str(built_db), "--lod", "2.0"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "points" in out
+        assert "disk accesses" in out
+
+    def test_query_with_roi_render_obj(self, built_db, tmp_path, capsys):
+        obj = tmp_path / "out.obj"
+        code = main(
+            [
+                "query",
+                str(built_db),
+                "--roi", "1000", "1000", "3000", "3000",
+                "--lod", "1.0",
+                "--render",
+                "--obj", str(obj),
+            ]
+        )
+        assert code == 0
+        assert obj.exists()
+        assert "wrote" in capsys.readouterr().out
+
+    def test_viewdep(self, built_db, capsys):
+        code = main(
+            [
+                "viewdep",
+                str(built_db),
+                "--roi", "500", "500", "4000", "4000",
+                "--emin", "0.2",
+                "--emax", "8.0",
+            ]
+        )
+        assert code == 0
+        assert "multi-base plan" in capsys.readouterr().out
+
+    def test_viewdep_custom_direction(self, built_db, capsys):
+        code = main(
+            [
+                "viewdep",
+                str(built_db),
+                "--roi", "500", "500", "4000", "4000",
+                "--emin", "0.2",
+                "--emax", "5.0",
+                "--direction", "1", "0",
+            ]
+        )
+        assert code == 0
+
+
+class TestErrors:
+    def test_info_on_missing_dir(self, tmp_path, capsys):
+        code = main(["info", str(tmp_path / "nope")])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_query_on_empty_db(self, tmp_path, capsys):
+        code = main(["query", str(tmp_path / "db"), "--lod", "1.0"])
+        assert code == 1
+
+
+class TestExplain:
+    def test_explain_uniform(self, built_db, capsys):
+        code = main(
+            [
+                "explain",
+                str(built_db),
+                "--roi", "1000", "1000", "3000", "3000",
+                "--lod", "1.5",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "viewpoint-independent" in out
+        assert "estimated total" in out
+
+    def test_explain_viewdep_executed(self, built_db, capsys):
+        code = main(
+            [
+                "explain",
+                str(built_db),
+                "--roi", "500", "500", "4000", "4000",
+                "--emin", "0.1",
+                "--emax", "9.0",
+                "--execute",
+            ]
+        )
+        assert code == 0
+        assert "executed:" in capsys.readouterr().out
+
+    def test_explain_needs_parameters(self, built_db, capsys):
+        code = main(
+            ["explain", str(built_db), "--roi", "0", "0", "10", "10"]
+        )
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestVerify:
+    def test_info_verify(self, built_db, capsys):
+        code = main(["info", str(built_db), "--verify"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "store verification: OK" in out
+
+
+class TestPmInterchange:
+    def test_build_save_and_reload_pm(self, tmp_path, capsys):
+        pmz = tmp_path / "terrain.pmz"
+        code = main(
+            [
+                "build",
+                str(tmp_path / "db1"),
+                "--points", "1200",
+                "--save-pm", str(pmz),
+            ]
+        )
+        assert code == 0
+        assert pmz.exists()
+        # Rebuild a second database from the saved mesh: no
+        # re-simplification.
+        code = main(
+            ["build", str(tmp_path / "db2"), "--from-pm", str(pmz)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "built" in out

@@ -1,0 +1,103 @@
+"""Tests for marching-squares contour extraction."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.terrain.gridfield import GridField
+from repro.viz.contours import contour_segments, render_contours
+
+
+def cone_field(size=33, cell=1.0):
+    """A radially symmetric cone: contours are (approximate) circles."""
+    coords = np.arange(size, dtype=float)
+    xx, yy = np.meshgrid(coords, coords, indexing="ij")
+    center = (size - 1) / 2
+    r = np.sqrt((xx - center) ** 2 + (yy - center) ** 2)
+    return GridField(100.0 - r * 4.0, cell)
+
+
+class TestContourSegments:
+    def test_flat_field_has_no_contours(self):
+        field = GridField(np.full((10, 10), 5.0))
+        assert contour_segments(field, 7.0) == []
+
+    def test_level_below_everything(self):
+        field = cone_field()
+        assert contour_segments(field, -1000.0) == []
+
+    def test_segments_lie_on_level(self):
+        field = cone_field()
+        level = 60.0
+        for (x0, y0), (x1, y1) in contour_segments(field, level):
+            # Both endpoints interpolate the raster to ~the level.
+            for x, y in ((x0, y0), (x1, y1)):
+                assert field.sample(x, y) == pytest.approx(level, abs=2.5)
+
+    def test_circle_radius(self):
+        field = cone_field()
+        level = 60.0  # r = (100 - 60) / 4 = 10 cells.
+        segs = contour_segments(field, level)
+        assert segs
+        center = 16.0
+        for (x0, y0), _ in segs:
+            r = math.hypot(x0 - center, y0 - center)
+            assert r == pytest.approx(10.0, abs=0.8)
+
+    def test_segments_chain_into_closed_loop(self):
+        # Every contour point of a closed iso-line appears exactly
+        # twice (once per incident segment).  The level is chosen off
+        # the lattice values: where an iso-line passes exactly through
+        # grid vertices, marching squares legitimately emits degenerate
+        # vertex-touching segments.
+        field = cone_field()
+        segs = contour_segments(field, 61.37)
+        counts: dict[tuple[float, float], int] = {}
+        for a, b in segs:
+            for p in (a, b):
+                key = (round(p[0], 9), round(p[1], 9))
+                counts[key] = counts.get(key, 0) + 1
+        assert all(c == 2 for c in counts.values())
+
+    def test_monotone_level_shrinks_contour(self):
+        field = cone_field()
+        low = len(contour_segments(field, 40.0))
+        high = len(contour_segments(field, 80.0))
+        assert high < low  # Higher iso-line = smaller circle.
+
+    def test_saddle_cases_produce_two_segments(self):
+        # A checkerboard cell exercises the ambiguous cases 5 and 10.
+        field = GridField(np.array([[1.0, 0.0], [0.0, 1.0]]))
+        segs = contour_segments(field, 0.5)
+        assert len(segs) == 2
+
+
+class TestRenderContours:
+    def test_dimensions(self):
+        art = render_contours(cone_field(), levels=4, width=40, height=15)
+        lines = art.split("\n")
+        assert len(lines) == 15
+        assert all(len(line) == 40 for line in lines)
+
+    def test_distinct_glyphs_per_level(self):
+        art = render_contours(cone_field(), levels=3, width=50, height=20)
+        used = set(art) - {" ", "\n"}
+        assert len(used) == 3
+
+    def test_explicit_levels(self):
+        art = render_contours(cone_field(), levels=[50.0], width=30,
+                              height=12)
+        assert set(art) - {" ", "\n"} == {"."}
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            render_contours(cone_field(), levels=0)
+        with pytest.raises(ReproError):
+            render_contours(cone_field(), levels=[])
+
+    def test_flat_field_single_level(self):
+        field = GridField(np.full((8, 8), 3.0))
+        art = render_contours(field, levels=2)
+        assert set(art) <= {" ", "\n"}  # Nothing to draw.

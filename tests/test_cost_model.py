@@ -1,0 +1,134 @@
+"""Tests for the R-tree cost model and multi-base optimiser."""
+
+import pytest
+
+from repro.core.cost_model import RTreeCostModel, _split_at
+from repro.geometry.plane import QueryPlane
+from repro.geometry.primitives import Box3, Rect
+from repro.index.rstar import RTreeNodeStats
+
+
+def uniform_stats(n_nodes=100, extent=0.1):
+    """Synthetic stats: n identical cubes of normalised side ``extent``."""
+    w = h = d = extent
+    return RTreeNodeStats(
+        n_nodes=n_nodes,
+        sum_w=n_nodes * w,
+        sum_h=n_nodes * h,
+        sum_d=n_nodes * d,
+        sum_wh=n_nodes * w * h,
+        sum_wd=n_nodes * w * d,
+        sum_hd=n_nodes * h * d,
+        sum_whd=n_nodes * w * h * d,
+        data_space=Box3(0, 0, 0, 100, 100, 10),
+    )
+
+
+@pytest.fixture
+def model():
+    return RTreeCostModel(uniform_stats())
+
+
+ROI = Rect(20, 20, 60, 60)
+
+
+class TestEstimates:
+    def test_formula_matches_hand_computation(self, model):
+        # One query of normalised size (0.2, 0.2, 0.5) against 100
+        # nodes of size 0.1: DA = 100 * 0.3 * 0.3 * 0.6.
+        q = Box3(0, 0, 0, 20, 20, 5)
+        assert model.estimate(q) == pytest.approx(100 * 0.3 * 0.3 * 0.6)
+
+    def test_monotone_in_volume(self, model):
+        small = Box3(0, 0, 0, 10, 10, 1)
+        large = Box3(0, 0, 0, 50, 50, 5)
+        assert model.estimate(small) < model.estimate(large)
+
+    def test_plane_estimate_uses_cube(self, model):
+        plane = QueryPlane(ROI, 1.0, 5.0)
+        assert model.estimate_plane(plane) == pytest.approx(
+            model.estimate(Box3.from_rect(ROI, 1.0, 5.0))
+        )
+
+
+class TestMultiBasePlan:
+    def test_tilted_plane_splits(self, model):
+        # A strongly tilted plane over a large ROI: splitting wins.
+        plane = QueryPlane(ROI, 0.0, 8.0)
+        plan = model.plan_multi_base(plane)
+        assert plan.n_queries >= 2
+        assert plan.estimated_da < plan.single_base_da
+        assert plan.predicted_gain > 0
+
+    def test_flat_plane_does_not_split(self, model):
+        plane = QueryPlane(ROI, 2.0, 2.0)
+        plan = model.plan_multi_base(plane)
+        assert plan.n_queries == 1
+        assert plan.predicted_gain == 0
+
+    def test_strips_tile_roi(self, model):
+        plane = QueryPlane(ROI, 0.0, 8.0)
+        plan = model.plan_multi_base(plane)
+        total = sum(s.roi.area for s in plan.strips)
+        assert total == pytest.approx(ROI.area)
+        # Strips chain along the viewing direction.
+        ys = sorted((s.roi.min_y, s.roi.max_y) for s in plan.strips)
+        assert ys[0][0] == ROI.min_y
+        assert ys[-1][1] == ROI.max_y
+        for (_, a_max), (b_min, _) in zip(ys, ys[1:]):
+            assert a_max == pytest.approx(b_min)
+
+    def test_depth_limit_respected(self, model):
+        plane = QueryPlane(ROI, 0.0, 9.9)
+        plan = model.plan_multi_base(plane, max_depth=2)
+        assert plan.n_queries <= 4
+
+
+class TestPaperFormulas:
+    def test_gain_curve_decreases_then_flattens(self, model):
+        plane = QueryPlane(ROI, 0.0, 8.0)
+        curve = model.gain_curve(plane, max_parts=16)
+        parts, costs = zip(*curve)
+        assert parts == (1, 2, 4, 8, 16)
+        # First split must help for a tall tilted cube.
+        assert costs[1] < costs[0]
+        # Costs are bounded below by the index-descent overhead, so the
+        # curve cannot keep halving: the last improvement is smaller
+        # than the first.
+        assert (costs[0] - costs[1]) > (costs[-2] - costs[-1])
+
+    def test_middle_split_is_optimal(self, model):
+        # Formula (9): q_y1 q_z1 + q_y2 q_z2 is minimised at the middle.
+        plane = QueryPlane(ROI, 0.0, 8.0)
+        samples = model.middle_split_advantage(
+            plane, fractions=[0.1, 0.3, 0.5, 0.7, 0.9]
+        )
+        best_fraction = min(samples, key=lambda kv: kv[1])[0]
+        assert best_fraction == 0.5
+
+    def test_split_at_preserves_lod_field(self):
+        plane = QueryPlane(ROI, 1.0, 5.0)
+        first, second = _split_at(plane, 0.25)
+        assert first.roi.height == pytest.approx(ROI.height * 0.25)
+        assert first.e_min == pytest.approx(1.0)
+        assert first.e_max == pytest.approx(2.0)
+        assert second.e_min == pytest.approx(2.0)
+        assert second.e_max == pytest.approx(5.0)
+
+
+class TestAgainstRealTree(object):
+    def test_plan_reduces_real_disk_accesses(self, session_db, hills_dataset):
+        db = session_db["db"]
+        dm = session_db["dm"]
+        ds = hills_dataset
+        roi = ds.bounds().scaled(0.5)
+        plane = QueryPlane(roi, ds.pm.max_lod() * 0.01, ds.pm.max_lod() * 0.9)
+        plan = dm.cost_model.plan_multi_base(plane)
+        db.begin_measured_query()
+        dm.single_base_query(plane)
+        single = db.disk_accesses
+        db.begin_measured_query()
+        dm.multi_base_query(plane)
+        multi = db.disk_accesses
+        if plan.n_queries > 1:
+            assert multi <= single

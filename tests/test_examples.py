@@ -1,0 +1,60 @@
+"""Smoke tests: every example script must run end to end.
+
+Examples are documentation that executes; these tests keep them from
+rotting.  Each runs as a subprocess with its smallest workload in an
+isolated working directory.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+EXAMPLES = REPO_ROOT / "examples"
+
+
+def run_example(tmp_path, name: str, *args: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=600,
+        cwd=tmp_path,  # Outputs (results/) land in the temp dir.
+    )
+    assert result.returncode == 0, (
+        f"{name} failed:\nstdout:\n{result.stdout}\nstderr:\n{result.stderr}"
+    )
+    return result.stdout
+
+
+@pytest.mark.slow
+class TestExamples:
+    def test_quickstart(self, tmp_path):
+        out = run_example(tmp_path, "quickstart.py")
+        assert "uniform query" in out
+        assert "disk accesses" in out
+        assert (tmp_path / "results" / "quickstart_viewdep.obj").exists()
+
+    def test_flyover(self, tmp_path):
+        out = run_example(tmp_path, "flyover.py", "3")
+        assert "flyover total" in out
+        assert "reduction" in out
+
+    def test_compare_methods(self, tmp_path):
+        out = run_example(tmp_path, "compare_methods.py", "8", "5")
+        assert "Direct Mesh" in out
+        assert "statistics report" in out
+        assert "<-- best" in out
+
+    def test_dem_pipeline(self, tmp_path):
+        out = run_example(tmp_path, "dem_pipeline.py")
+        assert "tile" in out
+        for tile in ("sw", "se", "nw", "ne"):
+            assert (tmp_path / "results" / f"tile_{tile}.obj").exists()
+
+    def test_streaming_client(self, tmp_path):
+        out = run_example(tmp_path, "streaming_client.py", "4")
+        assert "transfer:" in out
+        assert "saved" in out

@@ -1,0 +1,85 @@
+"""Tests for the per-figure experiment definitions (bench harness)."""
+
+import pytest
+
+from repro.bench.cache import ExperimentEnv
+from repro.bench.figures import (
+    connection_table,
+    storage_overhead_table,
+    uniform_varying_lod,
+    uniform_varying_roi,
+    viewdep_varying_angle,
+    viewdep_varying_lod,
+    viewdep_varying_roi,
+)
+from repro.bench.workload import Workload
+
+
+@pytest.fixture
+def env(session_db, hills_dataset):
+    return ExperimentEnv(
+        dataset=hills_dataset,
+        database=session_db["db"],
+        dm=session_db["dm"],
+        pm_store=session_db["pm"],
+        hdov=session_db["hdov"],
+    )
+
+
+@pytest.fixture
+def workload(hills_dataset):
+    return Workload(hills_dataset, n_locations=2, seed=7)
+
+
+class TestUniformFigures:
+    def test_varying_roi_structure(self, env, workload):
+        table = uniform_varying_roi(env, workload, [0.05, 0.15], "t_roi")
+        assert table.x_values() == [5.0, 15.0]
+        assert set(table.columns) == {"DM", "PM", "HDoV"}
+        for _, row in table.rows:
+            assert all(v > 0 for v in row.values())
+        assert "locations" in {k for k in table.meta}
+
+    def test_varying_lod_structure(self, env, workload):
+        table = uniform_varying_lod(
+            env, workload, 0.2, "t_lod", lod_sweep=[0.02, 0.3]
+        )
+        assert table.x_values() == [2.0, 30.0]
+        # Coarser LOD cannot cost more for DM.
+        assert table.rows[1][1]["DM"] <= table.rows[0][1]["DM"] * 1.5
+
+
+class TestViewdepFigures:
+    def test_varying_roi(self, env, workload):
+        table = viewdep_varying_roi(env, workload, [0.1], "t_vroi")
+        row = table.rows[0][1]
+        assert set(row) == {"DM-SB", "DM-MB", "PM", "HDoV"}
+        assert row["DM-MB"] <= row["DM-SB"] * 1.05
+
+    def test_varying_lod(self, env, workload):
+        table = viewdep_varying_lod(
+            env, workload, 0.15, "t_vlod", emin_sweep=[0.05]
+        )
+        assert len(table.rows) == 1
+
+    def test_varying_angle(self, env, workload):
+        table = viewdep_varying_angle(
+            env, workload, 0.15, "t_vang", angle_sweep=[0.2, 0.8]
+        )
+        assert len(table.rows) == 2
+
+
+class TestTables:
+    def test_connection_table(self, hills_dataset):
+        table = connection_table([hills_dataset])
+        x, row = table.rows[0]
+        assert x == hills_dataset.n_points
+        assert row["avg_similar"] > 0
+        assert row["avg_total"] >= row["avg_similar"]
+
+    def test_storage_overhead(self, env):
+        table = storage_overhead_table(env)
+        _, row = table.rows[0]
+        assert row["PM"] == 96
+        assert row["DM"] > row["PM"]  # Connection lists cost something.
+        assert row["DM"] < row["PM"] * 2.5

@@ -1,0 +1,229 @@
+"""Tests for the HDoV-tree / LOD-R-tree baseline."""
+
+import pytest
+
+from repro.geometry.plane import QueryPlane
+from repro.geometry.primitives import Rect
+from repro.index.hdov import HDoVTree, LodRTree
+from repro.index.visibility import default_viewpoints, tile_visibility
+from repro.storage.database import Database
+from repro.terrain.synthetic import gaussian_hills_field
+
+
+@pytest.fixture(scope="module")
+def built(tmp_path_factory, request):
+    # Build once for this module over the session hills dataset.
+    hills = request.getfixturevalue("hills_dataset")
+    path = tmp_path_factory.mktemp("hdov")
+    db = Database(path / "db", pool_pages=512)
+    tree = HDoVTree.build(
+        hills.pm,
+        hills.field,
+        db,
+        connections=hills.connections,
+        grid=8,
+    )
+    yield hills, db, tree
+    db.close()
+
+
+class TestBuild:
+    def test_grid_must_be_power_of_two(self, hills_dataset, tmp_path):
+        with Database(tmp_path / "db") as db:
+            with pytest.raises(Exception):
+                HDoVTree.build(hills_dataset.pm, None, db, grid=6)
+
+    def test_thresholds_increase_with_height(self, built):
+        _, _, tree = built
+        assert tree.thresholds == sorted(tree.thresholds)
+        assert tree.thresholds[0] == 0.0
+
+    def test_reopen(self, built):
+        hills, db, tree = built
+        again = HDoVTree.open(db)
+        roi = hills.bounds().scaled(0.4)
+        a = tree.uniform_query(roi, hills.pm.average_lod())
+        b = again.uniform_query(roi, hills.pm.average_lod())
+        assert set(a.nodes) == set(b.nodes)
+
+
+class TestUniformQuery:
+    def test_lod_guarantee(self, built):
+        # Every returned node's mesh version error must satisfy the
+        # requested LOD (finer or equal), never coarser.
+        hills, _, tree = built
+        lod = hills.pm.average_lod()
+        roi = hills.bounds().scaled(0.35)
+        result = tree.uniform_query(roi, lod)
+        assert len(result) > 0
+        for node in result.nodes.values():
+            # The node came from a version with error <= lod, so its
+            # own normalised LOD cannot exceed the version error.
+            assert node.e <= lod + 1e-9
+
+    def test_covers_roi(self, built):
+        hills, _, tree = built
+        roi = hills.bounds().scaled(0.5)
+        result = tree.uniform_query(roi, hills.pm.average_lod())
+        xs = [n.x for n in result.nodes.values()]
+        ys = [n.y for n in result.nodes.values()]
+        # Points spread across the ROI, not one corner.
+        assert max(xs) - min(xs) > roi.width * 0.5
+        assert max(ys) - min(ys) > roi.height * 0.5
+
+    def test_outside_roi_excluded(self, built):
+        hills, _, tree = built
+        roi = hills.bounds().scaled(0.3)
+        result = tree.uniform_query(roi, hills.pm.average_lod())
+        for node in result.nodes.values():
+            assert roi.contains_point(node.x, node.y)
+
+    def test_coarser_lod_reads_less(self, built):
+        hills, db, tree = built
+        roi = hills.bounds().scaled(0.5)
+        db.begin_measured_query()
+        tree.uniform_query(roi, hills.pm.max_lod() * 0.01)
+        fine = db.disk_accesses
+        db.begin_measured_query()
+        tree.uniform_query(roi, hills.pm.max_lod() * 0.6)
+        coarse = db.disk_accesses
+        assert coarse < fine
+
+    def test_granularity_waste_visible(self, built):
+        # Whole-version reads fetch more records than land in the ROI.
+        hills, _, tree = built
+        roi = hills.bounds().scaled(0.25)
+        result = tree.uniform_query(roi, hills.pm.average_lod())
+        assert result.records_scanned > len(result.nodes)
+
+    def test_triangles_reference_result_nodes(self, built):
+        hills, _, tree = built
+        roi = hills.bounds().scaled(0.4)
+        result = tree.uniform_query(roi, hills.pm.average_lod())
+        assert result.triangles, "tile meshes must carry triangles"
+        ids = set(result.nodes)
+        for a, b, c in result.triangles:
+            assert ids & {a, b, c}
+
+
+class TestViewdepQuery:
+    def test_distant_region_coarser(self, built):
+        hills, _, tree = built
+        bounds = hills.bounds()
+        roi = bounds.scaled(0.6)
+        plane = QueryPlane(
+            roi, hills.pm.max_lod() * 0.01, hills.pm.max_lod() * 0.6
+        )
+        result = tree.viewdep_query(plane)
+        near = [
+            n.e
+            for n in result.nodes.values()
+            if n.y < roi.min_y + roi.height * 0.2
+        ]
+        far = [
+            n.e
+            for n in result.nodes.values()
+            if n.y > roi.max_y - roi.height * 0.2
+        ]
+        if near and far:
+            avg = lambda v: sum(v) / len(v)  # noqa: E731
+            assert avg(far) >= avg(near)
+
+    def test_versions_read_counted(self, built):
+        hills, _, tree = built
+        roi = hills.bounds().scaled(0.4)
+        plane = QueryPlane(roi, 0.0, hills.pm.max_lod() * 0.5)
+        result = tree.viewdep_query(plane)
+        assert result.versions_read >= 1
+
+
+class TestLodRTree:
+    def test_no_visibility(self, hills_dataset, tmp_path):
+        with Database(tmp_path / "db") as db:
+            tree = LodRTree.build(
+                hills_dataset.pm,
+                hills_dataset.field,
+                db,
+                connections=hills_dataset.connections,
+                grid=4,
+            )
+            assert tree.use_visibility is False
+            roi = hills_dataset.bounds().scaled(0.4)
+            result = tree.uniform_query(
+                roi, hills_dataset.pm.average_lod()
+            )
+            assert len(result) > 0
+            assert result.skipped_occluded == 0
+
+
+class TestVisibility:
+    def test_open_terrain_mostly_visible(self):
+        field = gaussian_hills_field(size=64, n_hills=3, amplitude=10, seed=1)
+        vps = default_viewpoints(field)
+        tile = Rect(100, 100, 300, 300)
+        dov = tile_visibility(field, tile, vps)
+        assert dov > 0.5
+
+    def test_no_viewpoints_fully_visible(self):
+        field = gaussian_hills_field(size=32, seed=2)
+        assert tile_visibility(field, Rect(0, 0, 50, 50), []) == 1.0
+
+    def test_wall_occludes(self):
+        import numpy as np
+
+        from repro.terrain.gridfield import GridField
+
+        # Flat terrain with a tall wall across the middle.
+        heights = np.zeros((64, 64))
+        heights[30:32, :] = 500.0
+        field = GridField(heights, cell_size=1.0)
+        viewpoint = [(32.0, 2.0, 3.0)]  # Low, south of the wall.
+        behind = Rect(10, 45, 55, 60)  # North of the wall.
+        front = Rect(10, 5, 55, 20)
+        assert tile_visibility(field, behind, viewpoint) < 0.3
+        assert tile_visibility(field, front, viewpoint) > 0.7
+
+
+class TestOcclusionBehavior:
+    def test_occluded_tiles_skipped(self, tmp_path):
+        """A deep basin surrounded by high rims is invisible from the
+        boundary viewpoints: HDoV must skip it in viewpoint-dependent
+        queries, returning fewer nodes than the LOD-R-tree would."""
+        import numpy as np
+
+        from repro.core.connectivity import build_connection_lists
+        from repro.geometry.plane import QueryPlane
+        from repro.mesh.simplify import SimplifyConfig, simplify_to_pm
+        from repro.mesh.trimesh import TriMesh
+        from repro.storage.database import Database
+        from repro.terrain.gridfield import GridField
+
+        # Flat terrain with a deep walled pit aligned to tile cells,
+        # so several whole tiles are invisible from the boundary
+        # viewpoints (verified: their DoV measures 0.0).
+        size = 48
+        heights = np.zeros((size, size))
+        heights[12:36, 12:36] = -300.0  # The pit floor.
+        heights[10:12, 10:38] = 500.0  # Rim walls.
+        heights[36:38, 10:38] = 500.0
+        heights[10:38, 10:12] = 500.0
+        heights[10:38, 36:38] = 500.0
+        field = GridField(heights, cell_size=10.0)
+        rng = np.random.default_rng(3)
+        xs = rng.uniform(0, 470, 2500)
+        ys = rng.uniform(0, 470, 2500)
+        zs = field.sample_many(xs, ys)
+        mesh = TriMesh.from_points(
+            list(zip(xs.tolist(), ys.tolist(), zs.tolist()))
+        )
+        pm = simplify_to_pm(mesh, SimplifyConfig(error_measure="vertical"))
+        pm.normalize_lod()
+        conn = build_connection_lists(pm)
+        with Database(tmp_path / "db", pool_pages=512) as db:
+            tree = HDoVTree.build(
+                pm, field, db, connections=conn, grid=8
+            )
+            roi = mesh.bounds()
+            plane = QueryPlane(roi, pm.max_lod() * 0.02, pm.max_lod() * 0.9)
+            result = tree.viewdep_query(plane)
+            assert result.skipped_occluded > 0

@@ -1,0 +1,161 @@
+"""Tests for B+-tree and R*-tree deletion."""
+
+import random
+
+import pytest
+
+from repro.geometry.primitives import Box3
+from repro.index.btree import BPlusTree
+from repro.index.rstar import RStarTree
+
+
+class TestBTreeDelete:
+    def test_delete_present(self, fresh_db):
+        tree = BPlusTree(fresh_db.segment("bt"))
+        tree.insert(5, 50)
+        assert tree.delete(5) is True
+        assert tree.get(5) is None
+        assert len(tree) == 0
+
+    def test_delete_absent(self, fresh_db):
+        tree = BPlusTree(fresh_db.segment("bt"))
+        tree.insert(5, 50)
+        assert tree.delete(6) is False
+        assert len(tree) == 1
+
+    def test_random_churn_matches_model(self, fresh_db):
+        tree = BPlusTree(fresh_db.segment("bt"))
+        rng = random.Random(0)
+        model: dict[int, int] = {}
+        for _ in range(6000):
+            key = rng.randrange(800)
+            if rng.random() < 0.6:
+                value = rng.randrange(10**6)
+                tree.insert(key, value)
+                model[key] = value
+            else:
+                assert tree.delete(key) == (key in model)
+                model.pop(key, None)
+        assert len(tree) == len(model)
+        for key, value in model.items():
+            assert tree.get(key) == value
+        assert [k for k, _ in tree.items()] == sorted(model)
+
+    def test_delete_then_reinsert(self, fresh_db):
+        tree = BPlusTree(fresh_db.segment("bt"))
+        for k in range(2000):
+            tree.insert(k, k)
+        for k in range(0, 2000, 2):
+            tree.delete(k)
+        for k in range(0, 2000, 2):
+            tree.insert(k, k * 10)
+        assert tree.get(100) == 1000
+        assert tree.get(101) == 101
+        tree.validate()
+
+    def test_compact_preserves_contents(self, fresh_db):
+        tree = BPlusTree(fresh_db.segment("bt"))
+        for k in range(3000):
+            tree.insert(k, k)
+        for k in range(0, 3000, 3):
+            tree.delete(k)
+        before = list(tree.items())
+        tree.compact()
+        assert list(tree.items()) == before
+        tree.validate()
+
+    def test_compact_empty(self, fresh_db):
+        tree = BPlusTree(fresh_db.segment("bt"))
+        tree.insert(1, 1)
+        tree.delete(1)
+        tree.compact()
+        assert len(tree) == 0
+        assert tree.get(1) is None
+
+
+def _random_boxes(n, seed):
+    rng = random.Random(seed)
+    out = []
+    for _ in range(n):
+        x, y, e = (rng.uniform(0, 100) for _ in range(3))
+        out.append(
+            Box3(x, y, e, x + rng.uniform(0, 3), y + rng.uniform(0, 3),
+                 e + rng.uniform(0, 3))
+        )
+    return out
+
+
+class TestRStarDelete:
+    def test_delete_present(self, fresh_db):
+        tree = RStarTree(fresh_db.segment("rt"))
+        b = Box3(0, 0, 0, 1, 1, 1)
+        tree.insert(b, 7)
+        assert tree.delete(b, 7) is True
+        assert len(tree) == 0
+        assert tree.search(b) == []
+
+    def test_delete_absent(self, fresh_db):
+        tree = RStarTree(fresh_db.segment("rt"))
+        b = Box3(0, 0, 0, 1, 1, 1)
+        tree.insert(b, 7)
+        assert tree.delete(b, 8) is False
+        assert tree.delete(Box3(9, 9, 9, 10, 10, 10), 7) is False
+        assert len(tree) == 1
+
+    def test_delete_half_matches_brute_force(self, fresh_db):
+        boxes = _random_boxes(600, seed=1)
+        tree = RStarTree(fresh_db.segment("rt"))
+        for i, b in enumerate(boxes):
+            tree.insert(b, i)
+        removed = set(range(0, 600, 2))
+        for i in sorted(removed):
+            assert tree.delete(boxes[i], i)
+        tree.validate()
+        q = Box3(10, 10, 10, 70, 70, 70)
+        expected = sorted(
+            i
+            for i, b in enumerate(boxes)
+            if i not in removed and b.intersects(q)
+        )
+        assert sorted(tree.search(q)) == expected
+
+    def test_delete_everything(self, fresh_db):
+        boxes = _random_boxes(300, seed=2)
+        tree = RStarTree(fresh_db.segment("rt"))
+        for i, b in enumerate(boxes):
+            tree.insert(b, i)
+        order = list(range(300))
+        random.Random(3).shuffle(order)
+        for i in order:
+            assert tree.delete(boxes[i], i)
+        assert len(tree) == 0
+        assert tree.search(Box3(0, 0, 0, 200, 200, 200)) == []
+
+    def test_interleaved_insert_delete(self, fresh_db):
+        tree = RStarTree(fresh_db.segment("rt"))
+        rng = random.Random(4)
+        live: dict[int, Box3] = {}
+        next_id = 0
+        for _ in range(1200):
+            if live and rng.random() < 0.45:
+                victim = rng.choice(list(live))
+                assert tree.delete(live.pop(victim), victim)
+            else:
+                x, y, e = (rng.uniform(0, 50) for _ in range(3))
+                b = Box3(x, y, e, x + 1, y + 1, e + 1)
+                tree.insert(b, next_id)
+                live[next_id] = b
+                next_id += 1
+        tree.validate()
+        q = Box3(5, 5, 5, 30, 30, 30)
+        expected = sorted(i for i, b in live.items() if b.intersects(q))
+        assert sorted(tree.search(q)) == expected
+
+    def test_delete_after_bulk_load(self, fresh_db):
+        boxes = _random_boxes(500, seed=5)
+        tree = RStarTree(fresh_db.segment("rt"))
+        tree.bulk_load([(b, i) for i, b in enumerate(boxes)])
+        for i in range(0, 500, 5):
+            assert tree.delete(boxes[i], i)
+        tree.validate()
+        assert len(tree) == 400

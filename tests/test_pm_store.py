@@ -1,0 +1,93 @@
+"""Tests for the PM-over-database baseline."""
+
+import pytest
+
+from repro.baselines.pm_db import PMStore
+from repro.errors import StorageError
+from repro.geometry.plane import QueryPlane, max_angle
+from repro.mesh.selective import uniform_query_ref, viewdep_query_ref
+from repro.storage.database import Database
+
+
+@pytest.fixture
+def setup(session_db, hills_dataset):
+    return session_db["db"], session_db["pm"], hills_dataset
+
+
+class TestUniform:
+    def test_matches_reference(self, setup):
+        db, store, ds = setup
+        roi = ds.bounds().scaled(0.35)
+        for fraction in (0.02, 0.1, 0.4):
+            lod = ds.pm.max_lod() * fraction
+            result = store.uniform_query(roi, lod)
+            assert set(result.nodes) == uniform_query_ref(ds.pm, roi, lod)
+
+    def test_roi_off_center(self, setup):
+        db, store, ds = setup
+        bounds = ds.bounds()
+        roi = ds.roi_for_fraction(0.08, bounds.min_x + 10, bounds.max_y - 10)
+        lod = ds.pm.average_lod()
+        result = store.uniform_query(roi, lod)
+        assert set(result.nodes) == uniform_query_ref(ds.pm, roi, lod)
+
+    def test_individual_fetches_happen(self, setup):
+        # The PM weakness: cut nodes below the cube and out-of-ROI
+        # ancestors are fetched one-by-one.
+        db, store, ds = setup
+        roi = ds.bounds().scaled(0.3)
+        result = store.uniform_query(roi, ds.pm.average_lod())
+        assert result.fetched_individually > 0
+        assert result.traversed > 0
+        assert result.retrieved_from_index > 0
+
+    def test_counts_disk_accesses(self, setup):
+        db, store, ds = setup
+        roi = ds.bounds().scaled(0.3)
+        db.begin_measured_query()
+        store.uniform_query(roi, ds.pm.average_lod())
+        assert db.disk_accesses > 0
+
+
+class TestViewdep:
+    def test_matches_reference(self, setup):
+        db, store, ds = setup
+        roi = ds.bounds().scaled(0.3)
+        theta = max_angle(ds.pm.max_lod(), roi.height)
+        plane = QueryPlane.from_angle(
+            roi, ds.pm.max_lod() * 0.02, theta * 0.4
+        )
+        result = store.viewdep_query(plane)
+        assert set(result.nodes) == viewdep_query_ref(ds.pm, plane)
+
+    def test_steep_plane_matches_reference(self, setup):
+        db, store, ds = setup
+        roi = ds.bounds().scaled(0.25)
+        plane = QueryPlane(roi, 0.0, ds.pm.max_lod() * 0.9, direction=(1, 0))
+        result = store.viewdep_query(plane)
+        assert set(result.nodes) == viewdep_query_ref(ds.pm, plane)
+
+
+class TestLifecycle:
+    def test_reopen(self, tmp_path, hills_dataset):
+        with Database(tmp_path / "db") as db:
+            PMStore.build(hills_dataset.pm, db)
+        with Database(tmp_path / "db") as db:
+            store = PMStore.open(db)
+            roi = hills_dataset.bounds().scaled(0.2)
+            lod = hills_dataset.pm.average_lod()
+            assert set(store.uniform_query(roi, lod).nodes) == (
+                uniform_query_ref(hills_dataset.pm, roi, lod)
+            )
+
+    def test_open_missing(self, fresh_db):
+        with pytest.raises(StorageError):
+            PMStore.open(fresh_db)
+
+    def test_fetch_by_id(self, setup):
+        db, store, ds = setup
+        node = store.fetch_by_id(0)
+        assert node.id == 0
+        assert (node.x, node.y, node.z) == ds.mesh.vertices[0]
+        with pytest.raises(StorageError):
+            store.fetch_by_id(10**9)

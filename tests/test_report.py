@@ -1,0 +1,47 @@
+"""Tests for the benchmark report assembler."""
+
+from pathlib import Path
+
+from repro.bench.report import build_report, main
+
+
+def write_csv(directory: Path, name: str, rows: list[list[str]]) -> None:
+    directory.mkdir(parents=True, exist_ok=True)
+    (directory / f"{name}.csv").write_text(
+        "\n".join(",".join(row) for row in rows) + "\n", encoding="ascii"
+    )
+
+
+class TestBuildReport:
+    def test_empty_directory(self, tmp_path):
+        report = build_report(tmp_path)
+        assert "no CSVs found" in report
+
+    def test_known_experiment_titled_and_ordered(self, tmp_path):
+        write_csv(tmp_path, "fig6b", [["lod", "DM"], ["1", "10"]])
+        write_csv(tmp_path, "fig6a", [["roi", "DM"], ["5", "20"]])
+        report = build_report(tmp_path)
+        assert "Figure 6(a)" in report
+        assert "Figure 6(b)" in report
+        assert report.index("Figure 6(a)") < report.index("Figure 6(b)")
+        assert "| roi | DM |" in report
+        assert "| 5 | 20 |" in report
+
+    def test_unknown_experiment_appended(self, tmp_path):
+        write_csv(tmp_path, "fig6a", [["roi", "DM"], ["5", "20"]])
+        write_csv(tmp_path, "my_custom", [["x", "y"], ["1", "2"]])
+        report = build_report(tmp_path)
+        assert "## my_custom" in report
+        assert report.index("Figure 6(a)") < report.index("my_custom")
+
+    def test_main_writes_file(self, tmp_path, capsys):
+        write_csv(tmp_path / "res", "fig6a", [["roi", "DM"], ["5", "20"]])
+        out = tmp_path / "report.md"
+        assert main([str(tmp_path / "res"), str(out)]) == 0
+        assert out.exists()
+        assert "Figure 6(a)" in out.read_text()
+
+    def test_main_prints_without_output_arg(self, tmp_path, capsys):
+        write_csv(tmp_path / "res", "fig6a", [["roi", "DM"], ["5", "20"]])
+        assert main([str(tmp_path / "res")]) == 0
+        assert "Figure 6(a)" in capsys.readouterr().out

@@ -1,0 +1,182 @@
+"""Tests for the disk-backed R*-tree."""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.errors import IndexError_
+from repro.geometry.primitives import Box3, Rect
+from repro.index.rstar import RStarTree, str_order
+from repro.storage.database import Database
+
+
+def random_boxes(n, seed=0, span=100.0):
+    rng = random.Random(seed)
+    boxes = []
+    for _ in range(n):
+        x, y, e = (rng.uniform(0, span) for _ in range(3))
+        boxes.append(
+            Box3(
+                x,
+                y,
+                e,
+                x + rng.uniform(0, 2),
+                y + rng.uniform(0, 2),
+                e + rng.uniform(0, 2),
+            )
+        )
+    return boxes
+
+
+def brute_force(boxes, query):
+    return sorted(i for i, b in enumerate(boxes) if b.intersects(query))
+
+
+@pytest.fixture
+def tree(fresh_db):
+    return RStarTree(fresh_db.segment("rt"))
+
+
+class TestInsertSearch:
+    def test_empty_search(self, tree):
+        assert tree.search(Box3(0, 0, 0, 1, 1, 1)) == []
+
+    def test_single(self, tree):
+        b = Box3(1, 1, 1, 2, 2, 2)
+        tree.insert(b, 99)
+        assert tree.search(Box3(0, 0, 0, 3, 3, 3)) == [99]
+        assert tree.search(Box3(5, 5, 5, 6, 6, 6)) == []
+
+    def test_matches_brute_force(self, tree):
+        boxes = random_boxes(800, seed=1)
+        for i, b in enumerate(boxes):
+            tree.insert(b, i)
+        tree.validate()
+        for qseed in range(5):
+            rng = random.Random(qseed + 100)
+            x, y, e = (rng.uniform(0, 80) for _ in range(3))
+            q = Box3(x, y, e, x + 25, y + 25, e + 25)
+            assert sorted(tree.search(q)) == brute_force(boxes, q)
+
+    def test_degenerate_segments(self, tree):
+        # Vertical segments (the DM shape): zero x/y extent.
+        segs = [
+            Box3.vertical_segment(i * 1.0, i * 2.0, 0.0, i * 0.5 + 0.1)
+            for i in range(300)
+        ]
+        for i, s in enumerate(segs):
+            tree.insert(s, i)
+        tree.validate()
+        plane = Box3(0, 0, 5.0, 300, 600, 5.0)
+        got = sorted(tree.search(plane))
+        want = brute_force(segs, plane)
+        assert got == want
+
+    def test_duplicate_boxes(self, tree):
+        b = Box3(0, 0, 0, 1, 1, 1)
+        for i in range(200):
+            tree.insert(b, i)
+        assert sorted(tree.search(b)) == list(range(200))
+
+
+class TestBulkLoad:
+    def test_matches_brute_force(self, fresh_db):
+        boxes = random_boxes(2000, seed=2)
+        tree = RStarTree(fresh_db.segment("bulk"))
+        tree.bulk_load([(b, i) for i, b in enumerate(boxes)])
+        tree.validate()
+        q = Box3(10, 10, 10, 50, 40, 30)
+        assert sorted(tree.search(q)) == brute_force(boxes, q)
+        assert len(tree) == 2000
+
+    def test_bulk_requires_empty(self, tree):
+        tree.insert(Box3(0, 0, 0, 1, 1, 1), 0)
+        with pytest.raises(IndexError_):
+            tree.bulk_load([(Box3(0, 0, 0, 1, 1, 1), 1)])
+
+    def test_insert_after_bulk(self, fresh_db):
+        tree = RStarTree(fresh_db.segment("b2"))
+        boxes = random_boxes(500, seed=3)
+        tree.bulk_load([(b, i) for i, b in enumerate(boxes)])
+        extra = Box3(200, 200, 200, 201, 201, 201)
+        tree.insert(extra, 999)
+        tree.validate()
+        assert tree.search(extra) == [999]
+
+    def test_all_entries(self, fresh_db):
+        tree = RStarTree(fresh_db.segment("ae"))
+        boxes = random_boxes(100, seed=4)
+        tree.bulk_load([(b, i) for i, b in enumerate(boxes)])
+        assert sorted(v for _, v in tree.all_entries()) == list(range(100))
+
+
+class TestStats:
+    def test_node_stats_estimate_tracks_reality(self, fresh_db):
+        boxes = random_boxes(3000, seed=5)
+        tree = RStarTree(fresh_db.segment("st"))
+        tree.bulk_load([(b, i) for i, b in enumerate(boxes)])
+        stats = tree.node_stats()
+        small = Box3(0, 0, 0, 5, 5, 5)
+        large = Box3(0, 0, 0, 60, 60, 60)
+        est_small = stats.estimate_disk_accesses(small)
+        est_large = stats.estimate_disk_accesses(large)
+        assert est_small < est_large
+        # Estimate within a loose factor of the true page count.
+        fresh_db.begin_measured_query()
+        tree.search(large)
+        actual = fresh_db.disk_accesses
+        assert 0.2 * actual <= est_large <= 5 * actual
+
+    def test_empty_tree_stats_raise(self, tree):
+        with pytest.raises(IndexError_):
+            tree.node_stats()
+
+
+class TestStrOrder:
+    def test_permutation(self):
+        boxes = random_boxes(500, seed=6)
+        order = str_order(boxes)
+        assert sorted(order) == list(range(500))
+
+    def test_groups_are_spatially_local(self):
+        boxes = random_boxes(1000, seed=7)
+        order = str_order(boxes, capacity=50)
+        # Consecutive chunks of 50 should have small extents relative
+        # to the whole space.
+        for start in range(0, 1000, 200):
+            chunk = [boxes[i] for i in order[start : start + 50]]
+            min_x = min(b.min_x for b in chunk)
+            max_x = max(b.max_x for b in chunk)
+            assert max_x - min_x < 110  # Not the whole 100-space + box.
+
+
+class TestPersistence:
+    def test_reopen(self, tmp_path):
+        boxes = random_boxes(400, seed=8)
+        with Database(tmp_path / "db") as db:
+            tree = RStarTree(db.segment("rt"))
+            tree.bulk_load([(b, i) for i, b in enumerate(boxes)])
+        with Database(tmp_path / "db") as db:
+            tree = RStarTree(db.segment("rt"))
+            q = Box3(20, 20, 20, 40, 40, 40)
+            assert sorted(tree.search(q)) == brute_force(boxes, q)
+
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(st.integers(0, 10**6))
+    def test_random_queries_after_reload(self, tmp_path, qseed):
+        # Build once per example in a unique directory.
+        boxes = random_boxes(150, seed=9)
+        with Database(tmp_path / f"db{qseed}") as db:
+            tree = RStarTree(db.segment("rt"))
+            for i, b in enumerate(boxes):
+                tree.insert(b, i)
+            rng = random.Random(qseed)
+            x, y, e = (rng.uniform(0, 90) for _ in range(3))
+            q = Box3(x, y, e, x + rng.uniform(1, 30), y + rng.uniform(1, 30),
+                     e + rng.uniform(1, 30))
+            assert sorted(tree.search(q)) == brute_force(boxes, q)

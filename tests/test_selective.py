@@ -1,0 +1,121 @@
+"""Tests for in-memory selective refinement (the reference semantics)."""
+
+import pytest
+
+from repro.geometry.plane import QueryPlane
+from repro.geometry.primitives import Rect
+from repro.mesh.selective import (
+    cut_edges,
+    selective_subtree,
+    uniform_query_ref,
+    viewdep_query_ref,
+)
+
+
+class TestUniformRef:
+    def test_equals_interval_filter(self, wavy_pm):
+        roi = Rect(20, 20, 80, 80)
+        for fraction in (0.0, 0.05, 0.2, 0.8):
+            lod = wavy_pm.max_lod() * fraction
+            traversal = uniform_query_ref(wavy_pm, roi, lod)
+            direct = {
+                n.id
+                for n in wavy_pm.nodes
+                if n.interval_contains(lod) and roi.contains_point(n.x, n.y)
+            }
+            assert traversal == direct
+
+    def test_empty_roi_outside_terrain(self, wavy_pm):
+        roi = Rect(10_000, 10_000, 10_010, 10_010)
+        assert uniform_query_ref(wavy_pm, roi, 1.0) == set()
+
+    def test_whole_terrain_is_cut(self, wavy_pm):
+        bounds = Rect(-1e9, -1e9, 1e9, 1e9)
+        lod = wavy_pm.max_lod() * 0.1
+        assert uniform_query_ref(wavy_pm, bounds, lod) == set(
+            wavy_pm.uniform_cut(lod)
+        )
+
+
+class TestViewdepRef:
+    def test_flat_plane_equals_uniform(self, wavy_pm):
+        roi = Rect(20, 20, 90, 90)
+        lod = wavy_pm.max_lod() * 0.1
+        plane = QueryPlane(roi, lod, lod)
+        assert viewdep_query_ref(wavy_pm, plane) == uniform_query_ref(
+            wavy_pm, roi, lod
+        )
+
+    def test_members_satisfy_pointwise_rule(self, wavy_pm):
+        roi = Rect(10, 10, 100, 100)
+        plane = QueryPlane(
+            roi, wavy_pm.max_lod() * 0.01, wavy_pm.max_lod() * 0.6
+        )
+        result = viewdep_query_ref(wavy_pm, plane)
+        assert result
+        for node_id in result:
+            node = wavy_pm.node(node_id)
+            assert roi.contains_point(node.x, node.y)
+            assert node.interval_contains(
+                plane.required_lod(node.x, node.y)
+            )
+
+    def test_near_side_finer(self, wavy_pm):
+        roi = Rect(0, 0, 115, 115)
+        plane = QueryPlane(
+            roi,
+            wavy_pm.lod_percentile(0.3),
+            wavy_pm.max_lod() * 0.9,
+            direction=(0, 1),
+        )
+        result = viewdep_query_ref(wavy_pm, plane)
+        near = [
+            i for i in result if wavy_pm.node(i).y < roi.height * 0.25
+        ]
+        far = [
+            i for i in result if wavy_pm.node(i).y > roi.height * 0.75
+        ]
+        if near and far:
+            near_density = len(near)
+            far_density = len(far)
+            assert near_density >= far_density
+
+
+class TestSubtree:
+    def test_internal_and_leaves_disjoint(self, wavy_pm):
+        roi = Rect(20, 20, 80, 80)
+        lod = wavy_pm.max_lod() * 0.1
+        internal, leaves = selective_subtree(wavy_pm, roi, lod)
+        assert not internal & leaves
+        assert leaves == uniform_query_ref(wavy_pm, roi, lod)
+
+    def test_internal_nodes_are_coarser(self, wavy_pm):
+        roi = Rect(20, 20, 80, 80)
+        lod = wavy_pm.max_lod() * 0.1
+        internal, _ = selective_subtree(wavy_pm, roi, lod)
+        for node_id in internal:
+            assert wavy_pm.node(node_id).e > lod
+
+    def test_quantifies_pm_overhead(self, wavy_pm):
+        # The motivation for DM: the traversed internal set is a large
+        # multiple of nothing-at-all (DM needs zero internal nodes).
+        roi = Rect(0, 0, 115, 115)
+        lod = wavy_pm.lod_percentile(0.5)
+        internal, leaves = selective_subtree(wavy_pm, roi, lod)
+        assert len(internal) > 0
+        assert len(leaves) > 0
+
+
+class TestCutEdges:
+    def test_requires_connection_lists(self, wavy_pm):
+        with pytest.raises(ValueError):
+            cut_edges(wavy_pm, [1, 2, 3], None)
+
+    def test_filters_to_member_pairs(self, wavy_pm, wavy_connections):
+        lod = wavy_pm.max_lod() * 0.05
+        cut = wavy_pm.uniform_cut(lod)
+        edges = cut_edges(wavy_pm, cut, wavy_connections)
+        members = set(cut)
+        for a, b in edges:
+            assert a in members and b in members
+            assert a < b

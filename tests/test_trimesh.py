@@ -1,0 +1,115 @@
+"""Tests for the static triangle mesh."""
+
+import pytest
+
+from repro.errors import MeshError
+from repro.mesh.trimesh import TriMesh
+
+
+@pytest.fixture
+def quad_mesh():
+    # Two triangles over a unit square.
+    return TriMesh(
+        [(0, 0, 0), (1, 0, 1), (1, 1, 2), (0, 1, 3)],
+        [(0, 1, 2), (0, 2, 3)],
+    )
+
+
+class TestConstruction:
+    def test_validates_indices(self):
+        with pytest.raises(MeshError):
+            TriMesh([(0, 0, 0)], [(0, 1, 2)])
+
+    def test_rejects_degenerate_triangle(self):
+        with pytest.raises(MeshError):
+            TriMesh([(0, 0, 0), (1, 0, 0), (0, 1, 0)], [(0, 0, 1)])
+
+    def test_from_grid_counts(self):
+        mesh = TriMesh.from_grid([[0, 1, 2], [3, 4, 5], [6, 7, 8]], 2.0)
+        assert mesh.n_vertices == 9
+        assert mesh.n_triangles == 8
+        mesh.validate_topology()
+        assert mesh.bounds().as_tuple() == (0, 0, 4, 4)
+
+    def test_from_grid_too_small(self):
+        with pytest.raises(MeshError):
+            TriMesh.from_grid([[1, 2]])
+
+    def test_from_points_delaunay(self):
+        pts = [(0, 0, 5), (10, 0, 6), (10, 10, 7), (0, 10, 8), (5, 5, 9)]
+        mesh = TriMesh.from_points(pts)
+        assert mesh.n_vertices == 5
+        assert mesh.n_triangles == 4
+        mesh.validate_topology()
+
+    def test_from_points_duplicate_xy_first_wins(self):
+        pts = [(0, 0, 5), (10, 0, 6), (0, 10, 7), (0, 0, 99)]
+        mesh = TriMesh.from_points(pts)
+        assert mesh.n_vertices == 3
+        assert (0.0, 0.0, 5.0) in mesh.vertices
+
+
+class TestAdjacency:
+    def test_edges(self, quad_mesh):
+        assert quad_mesh.edges() == {(0, 1), (1, 2), (0, 2), (2, 3), (0, 3)}
+
+    def test_vertex_neighbors(self, quad_mesh):
+        neighbors = quad_mesh.vertex_neighbors()
+        assert neighbors[0] == {1, 2, 3}
+        assert neighbors[1] == {0, 2}
+
+    def test_edge_triangles(self, quad_mesh):
+        et = quad_mesh.edge_triangles()
+        assert et[(0, 2)] == [0, 1]  # Shared diagonal.
+        assert et[(0, 1)] == [0]
+
+    def test_boundary_vertices(self, quad_mesh):
+        # All four corners are on the boundary of a quad.
+        assert quad_mesh.boundary_vertices() == {0, 1, 2, 3}
+
+    def test_interior_vertex_not_boundary(self):
+        mesh = TriMesh.from_grid([[0] * 4 for _ in range(4)])
+        boundary = mesh.boundary_vertices()
+        assert 5 not in boundary  # (1, 1) is interior.
+        assert 0 in boundary
+
+    def test_vertex_triangles(self, quad_mesh):
+        vt = quad_mesh.vertex_triangles()
+        assert vt[0] == [0, 1]
+        assert vt[3] == [1]
+
+
+class TestSampling:
+    def test_elevation_interpolates(self, quad_mesh):
+        assert quad_mesh.elevation_at(0, 0) == pytest.approx(0.0)
+        assert quad_mesh.elevation_at(1, 1) == pytest.approx(2.0)
+        mid = quad_mesh.elevation_at(0.5, 0.5)
+        assert mid == pytest.approx(1.0)  # On the shared diagonal.
+
+    def test_elevation_outside(self, quad_mesh):
+        assert quad_mesh.elevation_at(5, 5) is None
+
+    def test_elevation_range(self, quad_mesh):
+        assert quad_mesh.elevation_range() == (0.0, 3.0)
+
+
+class TestValidation:
+    def test_topology_catches_cw_triangle(self):
+        mesh = TriMesh(
+            [(0, 0, 0), (1, 0, 0), (0, 1, 0)], [(0, 2, 1)], validate=False
+        )
+        with pytest.raises(MeshError):
+            mesh.validate_topology()
+
+    def test_topology_catches_nonmanifold_edge(self):
+        mesh = TriMesh(
+            [(0, 0, 0), (1, 0, 0), (0.5, 1, 0), (0.5, -1, 0), (0.5, 2, 0)],
+            [(0, 1, 2), (0, 3, 1), (0, 1, 4)],
+            validate=False,
+        )
+        with pytest.raises(MeshError):
+            mesh.validate_topology()
+
+    def test_empty_mesh_bounds(self):
+        with pytest.raises(MeshError):
+            TriMesh([], []).bounds()

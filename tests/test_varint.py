@@ -1,0 +1,124 @@
+"""Tests for varint coding and compressed DM records."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import RecordError
+from repro.storage.record import decode_dm_node, encode_dm_node
+from repro.storage.varint import (
+    decode_id_list,
+    decode_uvarint,
+    encode_id_list,
+    encode_uvarint,
+    unzigzag,
+    zigzag,
+)
+
+
+class TestUvarint:
+    def test_single_byte_values(self):
+        for value in (0, 1, 127):
+            out = bytearray()
+            encode_uvarint(value, out)
+            assert len(out) == 1
+            assert decode_uvarint(bytes(out), 0) == (value, 1)
+
+    def test_multi_byte(self):
+        out = bytearray()
+        encode_uvarint(300, out)
+        assert len(out) == 2
+        assert decode_uvarint(bytes(out), 0)[0] == 300
+
+    def test_negative_rejected(self):
+        with pytest.raises(RecordError):
+            encode_uvarint(-1, bytearray())
+
+    def test_truncated(self):
+        with pytest.raises(RecordError):
+            decode_uvarint(b"\x80", 0)
+
+    def test_overlong(self):
+        with pytest.raises(RecordError):
+            decode_uvarint(b"\xff" * 12, 0)
+
+    @given(st.integers(0, 2**62))
+    def test_roundtrip(self, value):
+        out = bytearray()
+        encode_uvarint(value, out)
+        assert decode_uvarint(bytes(out), 0) == (value, len(out))
+
+
+class TestZigzag:
+    @given(st.integers(-(2**31), 2**31))
+    def test_roundtrip(self, value):
+        assert unzigzag(zigzag(value)) == value
+
+    def test_small_magnitudes_stay_small(self):
+        assert zigzag(0) == 0
+        assert zigzag(-1) == 1
+        assert zigzag(1) == 2
+        assert zigzag(-2) == 3
+
+
+class TestIdList:
+    def test_roundtrip_sorted(self):
+        ids = [3, 9, 10, 500, 100000]
+        data = encode_id_list(ids)
+        back, end = decode_id_list(data)
+        assert back == ids
+        assert end == len(data)
+
+    def test_unsorted_input_sorted_output(self):
+        back, _ = decode_id_list(encode_id_list([9, 3, 7]))
+        assert back == [3, 7, 9]
+
+    def test_empty(self):
+        back, end = decode_id_list(encode_id_list([]))
+        assert back == []
+        assert end == 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(RecordError):
+            encode_id_list([-5])
+
+    def test_dense_lists_compress(self):
+        ids = list(range(1000, 1060))
+        assert len(encode_id_list(ids)) < 4 * len(ids) // 2
+
+    @given(st.lists(st.integers(0, 2**30), max_size=100))
+    def test_roundtrip_property(self, ids):
+        back, _ = decode_id_list(encode_id_list(ids))
+        assert back == sorted(ids)
+
+
+class TestCompressedRecords:
+    def make_node(self):
+        from repro.geometry.primitives import Rect
+        from repro.mesh.progressive import PMNode
+
+        node = PMNode(7, 1.0, 2.0, 3.0, 0.5, parent=9, child1=3, child2=4)
+        node.e = 0.5
+        node.e_high = 2.0
+        node.footprint = Rect(0, 0, 1, 1)
+        return node
+
+    def test_roundtrip(self):
+        node = self.make_node()
+        conn = [2, 11, 13, 40000]
+        payload = encode_dm_node(node, conn, compress=True)
+        back = decode_dm_node(payload)
+        assert back.connections == conn
+        assert back.id == node.id
+        assert back.e_low == 0.5
+
+    def test_smaller_than_plain(self):
+        node = self.make_node()
+        conn = sorted(range(100, 160, 4))
+        plain = encode_dm_node(node, conn, compress=False)
+        compressed = encode_dm_node(node, conn, compress=True)
+        assert len(compressed) < len(plain)
+
+    def test_trailing_garbage_rejected(self):
+        payload = encode_dm_node(self.make_node(), [1, 2], compress=True)
+        with pytest.raises(RecordError):
+            decode_dm_node(payload + b"\x00")

@@ -1,0 +1,87 @@
+"""Tests for the store integrity checker."""
+
+import pytest
+
+from repro.core.verify_store import verify_store
+from repro.errors import StorageError
+
+
+class TestHealthyStore:
+    def test_clean_report(self, session_db):
+        report = verify_store(session_db["dm"])
+        assert report.ok, report.to_text()
+        assert report.stats["heap_records"] > 0
+        assert (
+            report.stats["heap_records"]
+            == report.stats["index_entries"]
+            == report.stats["btree_entries"]
+        )
+        assert "OK" in report.to_text()
+
+    def test_raise_on_error_noop_when_clean(self, session_db):
+        verify_store(session_db["dm"], raise_on_error=True)
+
+
+class TestCorruptions:
+    @pytest.fixture
+    def small_store(self, tmp_path, wavy_pm, wavy_connections):
+        from repro.core.direct_mesh import DirectMeshStore
+        from repro.storage.database import Database
+
+        db = Database(tmp_path / "db", pool_pages=256)
+        store = DirectMeshStore.build(wavy_pm, db, wavy_connections)
+        yield store
+        db.close()
+
+    def test_detects_dangling_index_entry(self, small_store):
+        from repro.geometry.primitives import Box3
+
+        small_store.rtree.insert(
+            Box3.vertical_segment(1, 1, 0, 1), 999_999_999
+        )
+        report = verify_store(small_store)
+        assert not report.ok
+        assert any("dangling" in p for p in report.problems)
+
+    def test_detects_missing_index_entry(self, small_store):
+        # Delete one index entry but keep the heap record.
+        box, rid = next(iter(small_store.rtree.all_entries()))
+        assert small_store.rtree.delete(box, rid)
+        report = verify_store(small_store)
+        assert not report.ok
+        assert any("missing from the index" in p for p in report.problems)
+
+    def test_detects_btree_mismatch(self, small_store):
+        small_store.btree.insert(0, 123456789)  # Wrong RID for node 0.
+        report = verify_store(small_store)
+        assert not report.ok
+        assert any("rid mismatch" in p for p in report.problems)
+
+    def test_detects_corrupt_record(self, small_store):
+        # Overwrite one record's payload in place with garbage.
+        from repro.storage.heapfile import unpack_rid
+        from repro.storage.page import SlottedPage
+
+        rid, _ = next(small_store.heap.scan())
+        page_no, slot = unpack_rid(rid)
+        buf = small_store.heap.segment.fetch(page_no)
+        page = SlottedPage(buf, small_store.heap.segment.page_size)
+        offset, length = page._slot(slot)
+        buf[offset : offset + min(8, length)] = b"\xff" * min(8, length)
+        small_store.heap.segment.mark_dirty(page_no)
+        report = verify_store(small_store)
+        assert not report.ok
+
+    def test_raise_on_error(self, small_store):
+        small_store.btree.insert(10**9, 1)  # Unknown id.
+        with pytest.raises(StorageError):
+            verify_store(small_store, raise_on_error=True)
+        report = verify_store(small_store)
+        assert any("unknown id" in p for p in report.problems)
+
+    def test_report_truncates_long_problem_lists(self):
+        from repro.core.verify_store import StoreReport
+
+        report = StoreReport(problems=[f"p{i}" for i in range(80)])
+        text = report.to_text()
+        assert "and 30 more" in text
