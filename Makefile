@@ -1,17 +1,26 @@
 # Convenience targets for the Direct Mesh reproduction.
+#
+# `test` and `lint` run the exact commands CI runs
+# (.github/workflows/ci.yml), so local and CI results cannot drift;
+# `ci` chains both.
 
 PYTHON ?= python3
 
-.PHONY: install test test-fast bench report examples clean
+.PHONY: install test test-fast lint ci bench report examples clean
 
 install:
 	$(PYTHON) setup.py develop
 
 test:
-	$(PYTHON) -m pytest tests/
+	$(PYTHON) -m pytest -q
 
 test-fast:
 	$(PYTHON) -m pytest tests/ -m "not slow"
+
+lint:
+	ruff check src tests
+
+ci: lint test
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s

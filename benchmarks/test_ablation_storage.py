@@ -28,7 +28,6 @@ from repro.storage.record import encode_dm_node
 def _build_hilbert_variant(dataset, database):
     """A DM store whose heap uses Hilbert-(x, y) clustering."""
     from repro.geometry.primitives import Box3
-    from repro.index.btree import BPlusTree
     from repro.index.rstar import RStarTree
     from repro.mesh.progressive import LOD_INFINITY
 

@@ -24,7 +24,7 @@ Disk accesses accumulate in the shared
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import QueryError, StorageError
 from repro.geometry.plane import QueryPlane
@@ -32,7 +32,7 @@ from repro.geometry.primitives import Box3, Rect
 from repro.geometry.spacefill import hilbert_key, normalized_quantizer
 from repro.index.btree import BPlusTree
 from repro.index.quadtree import LodQuadtree
-from repro.mesh.progressive import LOD_INFINITY, NULL_ID, PMNode, ProgressiveMesh
+from repro.mesh.progressive import PMNode, ProgressiveMesh
 from repro.storage.database import Database
 from repro.storage.heapfile import HeapFile
 from repro.storage.record import decode_pm_node, encode_pm_node

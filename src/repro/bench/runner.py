@@ -8,17 +8,26 @@ random locations.
 
 from __future__ import annotations
 
-from typing import Callable
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Sequence
 
 from repro.bench.cache import ExperimentEnv
 from repro.geometry.plane import QueryPlane
 from repro.geometry.primitives import Rect
+from repro.obs.metrics import MetricsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.direct_mesh import DirectMeshStore
+    from repro.core.engine import EngineRequest
 
 __all__ = [
     "UNIFORM_METHODS",
     "VIEWDEP_METHODS",
+    "ThroughputReport",
     "measure_uniform",
     "measure_viewdep",
+    "measure_throughput",
     "average_over",
 ]
 
@@ -30,10 +39,22 @@ UNIFORM_METHODS = ["DM", "PM", "HDoV"]
 VIEWDEP_METHODS = ["DM-SB", "DM-MB", "PM", "HDoV"]
 
 
-def _cold(env: ExperimentEnv, run: Callable[[], object]) -> int:
-    """Run ``run`` against a flushed buffer; return disk accesses."""
+def _cold(
+    env: ExperimentEnv,
+    run: Callable[[], object],
+    registry: MetricsRegistry | None = None,
+) -> int:
+    """Run ``run`` against a flushed buffer; return disk accesses.
+
+    With a ``registry``, the cold wall time also lands in the
+    ``bench.cold_query_s`` histogram.
+    """
     env.database.begin_measured_query()
-    run()
+    if registry is None:
+        run()
+    else:
+        with registry.timer("bench.cold_query_s"):
+            run()
     return env.database.disk_accesses
 
 
@@ -58,6 +79,52 @@ def measure_viewdep(
         "PM": _cold(env, lambda: env.pm_store.viewdep_query(plane)),
         "HDoV": _cold(env, lambda: env.hdov.viewdep_query(plane)),
     }
+
+
+@dataclass(frozen=True)
+class ThroughputReport:
+    """One serving measurement: a request batch at a worker count."""
+
+    workers: int
+    n_requests: int
+    wall_s: float
+    registry: MetricsRegistry
+
+    @property
+    def qps(self) -> float:
+        """Completed requests per second of wall time."""
+        if self.wall_s <= 0:
+            return 0.0
+        return self.n_requests / self.wall_s
+
+
+def measure_throughput(
+    store: "DirectMeshStore",
+    requests: Sequence["EngineRequest"],
+    workers: int,
+    dedup: str = "exact",
+    registry: MetricsRegistry | None = None,
+    flush_first: bool = True,
+) -> ThroughputReport:
+    """Serve ``requests`` through a :class:`QueryEngine` and time it.
+
+    ``flush_first`` starts from a cold buffer (the paper's protocol)
+    so runs at different worker counts face identical cache state.
+    """
+    from repro.core.engine import QueryEngine
+
+    if registry is None:
+        registry = MetricsRegistry()
+    if flush_first:
+        store.database.flush()
+    with QueryEngine(
+        store, workers=workers, dedup=dedup, registry=registry
+    ) as engine:
+        started = time.perf_counter()
+        engine.run_batch(requests)
+        wall_s = time.perf_counter() - started
+    registry.histogram("bench.batch_s").observe(wall_s)
+    return ThroughputReport(workers, len(requests), wall_s, registry)
 
 
 def average_over(

@@ -7,6 +7,8 @@ Commands:
 * ``query``   — run a viewpoint-independent query against a built
   database and export/render the resulting mesh;
 * ``viewdep`` — run a viewpoint-dependent (tilted-plane) query;
+* ``bench-serve`` — replay a synthetic query workload through the
+  concurrent engine at several worker counts (throughput baseline);
 * ``info``    — describe a built database (segments, pages, metadata).
 
 The CLI is a thin veneer over the public API; anything beyond quick
@@ -40,6 +42,11 @@ def main(argv: list[str] | None = None) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+
+
+def _worker_counts(spec: str) -> list[int]:
+    """Parse ``--workers`` values like ``1,2,4``."""
+    return [int(w) for w in spec.split(",")]
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -130,6 +137,59 @@ def _build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--execute", action="store_true",
                      help="run the query and attach actual counters")
     exp.set_defaults(handler=_cmd_explain)
+
+    serve = sub.add_parser(
+        "bench-serve",
+        help="throughput-benchmark the concurrent query engine",
+    )
+    serve.add_argument("database")
+    serve.add_argument(
+        "--requests", type=int, default=64, help="queries per batch"
+    )
+    serve.add_argument(
+        "--workers",
+        type=_worker_counts,
+        default=[1, 2, 4],
+        metavar="N,N,...",
+        help="comma-separated worker counts to sweep (default 1,2,4)",
+    )
+    serve.add_argument(
+        "--mode",
+        choices=["uniform", "viewdep", "mixed"],
+        default="uniform",
+        help="request mix to generate",
+    )
+    serve.add_argument(
+        "--roi-frac",
+        type=float,
+        default=0.15,
+        help="ROI edge length as a fraction of the terrain extent",
+    )
+    serve.add_argument(
+        "--dedup",
+        choices=["off", "exact", "subsume"],
+        default="exact",
+        help="batch deduplication policy",
+    )
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--pool-pages",
+        type=int,
+        default=64,
+        help="buffer pool capacity (small pools keep the workload I/O bound)",
+    )
+    serve.add_argument(
+        "--io-latency",
+        type=float,
+        default=0.0,
+        help="simulated seconds per physical page read (0 = off)",
+    )
+    serve.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the full metrics report of the last sweep",
+    )
+    serve.set_defaults(handler=_cmd_bench_serve)
 
     info = sub.add_parser("info", help="describe a built database")
     info.add_argument("database")
@@ -243,6 +303,73 @@ def _cmd_explain(args) -> int:
     else:
         raise ReproError("explain needs --lod or both --emin and --emax")
     print(explanation.to_text())
+    db.close()
+    return 0
+
+
+def _cmd_bench_serve(args) -> int:
+    import random
+
+    from repro.bench.runner import measure_throughput
+    from repro.core.engine import SingleBaseRequest, UniformRequest
+    from repro.obs.metrics import MetricsRegistry
+
+    db = Database(
+        args.database,
+        pool_pages=args.pool_pages,
+        io_latency=args.io_latency,
+    )
+    store = DirectMeshStore.open(db)
+    space = store.rtree.data_space
+    if space is None:
+        raise ReproError("database is empty")
+    extent = space.rect
+    rng = random.Random(args.seed)
+    side = args.roi_frac * min(extent.width, extent.height)
+
+    def random_roi() -> Rect:
+        x0 = extent.min_x + rng.random() * (extent.width - side)
+        y0 = extent.min_y + rng.random() * (extent.height - side)
+        return Rect(x0, y0, x0 + side, y0 + side)
+
+    requests = []
+    for i in range(args.requests):
+        viewdep = args.mode == "viewdep" or (
+            args.mode == "mixed" and i % 2 == 1
+        )
+        if viewdep:
+            e_min = (0.1 + 0.3 * rng.random()) * store.max_lod
+            e_max = e_min + (0.2 + 0.4 * rng.random()) * store.max_lod
+            requests.append(
+                SingleBaseRequest(QueryPlane(random_roi(), e_min, e_max))
+            )
+        else:
+            lod = (0.2 + 0.6 * rng.random()) * store.max_lod
+            requests.append(UniformRequest(random_roi(), lod))
+
+    print(
+        f"bench-serve: {args.requests} {args.mode} requests, "
+        f"pool {args.pool_pages} pages, io latency {args.io_latency}s, "
+        f"dedup {args.dedup}"
+    )
+    print(f"  {'workers':<10}{'wall s':<12}{'queries/s':<12}{'speedup':<10}")
+    base_qps = None
+    registry = None
+    for workers in args.workers:
+        registry = MetricsRegistry()
+        report = measure_throughput(
+            store, requests, workers, dedup=args.dedup, registry=registry
+        )
+        if base_qps is None:
+            base_qps = report.qps
+        speedup = report.qps / base_qps if base_qps else 0.0
+        print(
+            f"  {workers:<10}{report.wall_s:<12.3f}"
+            f"{report.qps:<12.1f}{speedup:<10.2f}"
+        )
+    if args.metrics and registry is not None:
+        print()
+        print(registry.report())
     db.close()
     return 0
 

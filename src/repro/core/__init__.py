@@ -11,7 +11,9 @@ Public surface:
 * :class:`~repro.core.cost_model.RTreeCostModel` -- the I/O cost model
   and multi-base optimiser (paper formulas (1)-(9));
 * :mod:`repro.core.reconstruct` -- Algorithm 1's refinement steps and
-  triangle extraction.
+  triangle extraction;
+* :class:`~repro.core.engine.QueryEngine` -- concurrent batched query
+  execution with per-query metrics (the serving path).
 """
 
 from repro.core.connectivity import (
@@ -21,15 +23,20 @@ from repro.core.connectivity import (
 )
 from repro.core.cost_model import MultiBasePlan, RTreeCostModel
 from repro.core.direct_mesh import DirectMeshStore, DMBuildReport
+from repro.core.engine import (
+    QueryEngine,
+    QueryMetrics,
+    QueryOutcome,
+    SingleBaseRequest,
+    UniformRequest,
+)
+from repro.core.explain import QueryExplanation, RangeStep, explain
 from repro.core.query import (
     DMQueryResult,
     multi_base_query,
     single_base_query,
     uniform_query,
 )
-from repro.core.explain import QueryExplanation, RangeStep, explain
-from repro.core.verify_store import StoreReport, verify_store
-from repro.core.streaming import SessionDelta, TerrainSession
 from repro.core.reconstruct import (
     RefinementResult,
     mesh_edges,
@@ -37,19 +44,26 @@ from repro.core.reconstruct import (
     refine_to_plane,
     resolve_overlaps,
 )
+from repro.core.streaming import SessionDelta, TerrainSession
+from repro.core.verify_store import StoreReport, verify_store
 
 __all__ = [
     "DMBuildReport",
     "DMQueryResult",
     "DirectMeshStore",
     "MultiBasePlan",
+    "QueryEngine",
     "QueryExplanation",
+    "QueryMetrics",
+    "QueryOutcome",
     "RangeStep",
     "RTreeCostModel",
     "RefinementResult",
     "SessionDelta",
+    "SingleBaseRequest",
     "StoreReport",
     "TerrainSession",
+    "UniformRequest",
     "build_connection_lists",
     "connection_statistics",
     "explain",

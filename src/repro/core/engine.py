@@ -1,0 +1,379 @@
+"""Concurrent batched query engine over a :class:`DirectMeshStore`.
+
+The paper reduces selective refinement to a single 3D range query;
+this module turns that property into a *serving* path.  A batch of
+terrain queries — viewpoint-independent (:class:`UniformRequest`) or
+viewpoint-dependent single-base (:class:`SingleBaseRequest`) — is
+
+1. **deduplicated**: requests whose query boxes coincide share one
+   index probe and record fetch; in ``"subsume"`` mode a request whose
+   box is contained in another's reuses the superset's records and
+   only re-runs the (cheap) LOD filter;
+2. **fanned out** across a :class:`~concurrent.futures.ThreadPoolExecutor`
+   against the shared, lock-striped buffer pool — pager reads release
+   the GIL, so independent cache misses overlap;
+3. **instrumented**: every executed range query reports R*-tree nodes
+   visited, pages read, cache hit-rate and per-stage wall time through
+   a :class:`~repro.obs.metrics.MetricsRegistry`.
+
+Results are byte-identical to the sequential query processors in
+:mod:`repro.core.query` (same nodes, same ``retrieved`` count) in the
+default ``"exact"`` dedup mode; ``"subsume"`` keeps the *approximation*
+identical but accounts ``retrieved`` against the shared superset
+fetch.
+
+Usage::
+
+    with QueryEngine(store, workers=4) as engine:
+        outcomes = engine.run_batch(
+            [UniformRequest(roi, lod) for roi, lod in workload]
+        )
+    print(engine.registry.report())
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable, Sequence, Union
+
+from repro.core.query import DMQueryResult, filter_to_plane, filter_uniform
+from repro.errors import QueryError
+from repro.geometry.plane import QueryPlane
+from repro.geometry.primitives import Box3, Rect
+from repro.obs.metrics import MetricsRegistry
+from repro.storage.record import DMNodeRecord
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.direct_mesh import DirectMeshStore
+
+__all__ = [
+    "QueryEngine",
+    "UniformRequest",
+    "SingleBaseRequest",
+    "QueryMetrics",
+    "QueryOutcome",
+    "DEDUP_MODES",
+]
+
+#: Supported deduplication policies (see :class:`QueryEngine`).
+DEDUP_MODES = ("off", "exact", "subsume")
+
+
+@dataclass(frozen=True)
+class UniformRequest:
+    """A viewpoint-independent query ``Q(M, roi, lod)``."""
+
+    roi: Rect
+    lod: float
+
+    def query_box(self) -> Box3:
+        """The degenerate plane box the range query probes."""
+        return Box3.from_rect(self.roi, self.lod, self.lod)
+
+    def filter(self, records: Iterable[DMNodeRecord]) -> dict[int, DMNodeRecord]:
+        """Apply the uniform-query predicate to fetched records."""
+        return filter_uniform(records, self.roi, self.lod)
+
+
+@dataclass(frozen=True)
+class SingleBaseRequest:
+    """A viewpoint-dependent single-base query (Algorithm 1)."""
+
+    plane: QueryPlane
+
+    def query_box(self) -> Box3:
+        """The query cube ``roi x [e_min, e_max]``."""
+        return Box3.from_rect(
+            self.plane.roi, self.plane.e_min, self.plane.e_max
+        )
+
+    def filter(self, records: Iterable[DMNodeRecord]) -> dict[int, DMNodeRecord]:
+        """Apply the plane predicate to fetched records."""
+        return filter_to_plane(records, self.plane)
+
+
+EngineRequest = Union[UniformRequest, SingleBaseRequest]
+
+
+@dataclass
+class QueryMetrics:
+    """Where one query's time and I/O went.
+
+    ``shared`` marks requests served from another request's range
+    query (dedup); their I/O counters describe the shared fetch.
+    """
+
+    nodes_visited: int = 0
+    pages_read: int = 0
+    logical_reads: int = 0
+    cache_hit_rate: float = 0.0
+    index_s: float = 0.0
+    fetch_s: float = 0.0
+    filter_s: float = 0.0
+    total_s: float = 0.0
+    shared: bool = False
+
+
+@dataclass
+class QueryOutcome:
+    """One request's result plus its metrics."""
+
+    request: EngineRequest
+    result: DMQueryResult
+    metrics: QueryMetrics
+
+
+class _NodeTally:
+    """Unlocked per-query node counter (single-writer by design)."""
+
+    __slots__ = ("count",)
+
+    def __init__(self) -> None:
+        self.count = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.count += n
+
+
+@dataclass
+class _Group:
+    """Requests sharing one range query (identical query boxes)."""
+
+    box: Box3
+    positions: list[int] = field(default_factory=list)
+    requests: list[EngineRequest] = field(default_factory=list)
+    leader: "_Group | None" = None  # Set in subsume mode.
+    records: list[DMNodeRecord] | None = None  # Filled by the leader task.
+
+
+class QueryEngine:
+    """Batched, deduplicating, multi-threaded query execution.
+
+    Args:
+        store: the Direct Mesh store to serve from.
+        workers: thread-pool width; 1 reproduces sequential execution
+            (the throughput baseline).
+        dedup: ``"off"`` (every request probes the index), ``"exact"``
+            (identical query boxes share one probe; results stay
+            byte-identical to the sequential path), or ``"subsume"``
+            (a box contained in another also reuses the superset's
+            records — identical approximations, shared I/O
+            accounting).
+        registry: metrics sink; a private one is created if omitted.
+    """
+
+    def __init__(
+        self,
+        store: "DirectMeshStore",
+        workers: int = 4,
+        dedup: str = "exact",
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        if workers < 1:
+            raise QueryError(f"workers must be >= 1, got {workers}")
+        if dedup not in DEDUP_MODES:
+            raise QueryError(
+                f"dedup must be one of {DEDUP_MODES}, got {dedup!r}"
+            )
+        self._store = store
+        self._workers = workers
+        self._dedup = dedup
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-engine"
+        )
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def workers(self) -> int:
+        """Thread-pool width."""
+        return self._workers
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "QueryEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- execution ---------------------------------------------------------
+
+    def run(self, request: EngineRequest) -> QueryOutcome:
+        """Convenience: run a single request."""
+        return self.run_batch([request])[0]
+
+    def run_batch(
+        self, requests: Sequence[EngineRequest]
+    ) -> list[QueryOutcome]:
+        """Execute a batch; outcomes are returned in request order.
+
+        Leader groups (one per distinct query box) are submitted to
+        the pool first, follower groups after — a follower waiting on
+        its leader can therefore never deadlock the pool: by FIFO
+        dispatch its leader is already running or finished.
+        """
+        requests = list(requests)
+        if not requests:
+            return []
+        groups = self._plan(requests)
+        leaders = [g for g in groups if g.leader is None]
+        followers = [g for g in groups if g.leader is not None]
+
+        leader_futures = {
+            id(group): self._pool.submit(self._execute_leader, group)
+            for group in leaders
+        }
+        follower_futures = [
+            self._pool.submit(
+                self._execute_follower, group, leader_futures[id(group.leader)]
+            )
+            for group in followers
+        ]
+
+        outcomes: list[QueryOutcome | None] = [None] * len(requests)
+        futures = [leader_futures[id(g)] for g in leaders] + follower_futures
+        for group, future in zip(leaders + followers, futures):
+            for position, outcome in zip(group.positions, future.result()):
+                outcomes[position] = outcome
+
+        registry = self.registry
+        registry.counter("engine.requests").inc(len(requests))
+        registry.counter("engine.batches").inc()
+        registry.counter("engine.range_queries").inc(len(leaders))
+        registry.counter("engine.dedup_shared").inc(
+            len(requests) - len(leaders)
+        )
+        assert all(outcome is not None for outcome in outcomes)
+        return outcomes  # type: ignore[return-value]
+
+    # -- planning ----------------------------------------------------------
+
+    def _plan(self, requests: Sequence[EngineRequest]) -> list[_Group]:
+        """Group requests into shared range queries per dedup policy."""
+        groups: list[_Group] = []
+        if self._dedup == "off":
+            for position, request in enumerate(requests):
+                groups.append(
+                    _Group(request.query_box(), [position], [request])
+                )
+            return groups
+
+        by_key: dict[object, _Group] = {}
+        for position, request in enumerate(requests):
+            key = request.query_box().as_tuple() + (
+                type(request).__name__,
+                request,
+            )
+            group = by_key.get(key)
+            if group is None:
+                group = _Group(request.query_box())
+                by_key[key] = group
+                groups.append(group)
+            group.positions.append(position)
+            group.requests.append(request)
+
+        if self._dedup == "subsume":
+            # Largest boxes first; each group adopts the first strictly
+            # earlier (hence >= volume) group whose box contains its
+            # own.  Containment is all that correctness needs: records
+            # intersecting the superset box are a superset of those
+            # intersecting ours, and the per-request filter restores
+            # exactness.
+            ordered = sorted(
+                groups, key=lambda g: g.box.volume, reverse=True
+            )
+            for i, group in enumerate(ordered):
+                for candidate in ordered[:i]:
+                    root = candidate.leader or candidate
+                    if root.box.contains_box(group.box):
+                        group.leader = root
+                        break
+        return groups
+
+    # -- stages (run on worker threads) ------------------------------------
+
+    def _execute_leader(self, group: _Group) -> list[QueryOutcome]:
+        """Run the group's range query, fetch, and per-request filters."""
+        store = self._store
+        registry = self.registry
+        tally = _NodeTally()
+        started = time.perf_counter()
+        with store.database.stats.attribute() as probe:
+            rids = store.rtree.search(group.box, node_counter=tally)
+            index_done = time.perf_counter()
+            records = store.read_records(rids)
+            fetch_done = time.perf_counter()
+            outcomes = self._filter_group(group, records, shared=False)
+        finished = time.perf_counter()
+
+        metrics = QueryMetrics(
+            nodes_visited=tally.count,
+            pages_read=probe.physical_reads,
+            logical_reads=probe.logical_reads,
+            cache_hit_rate=probe.cache_hit_rate,
+            index_s=index_done - started,
+            fetch_s=fetch_done - index_done,
+            filter_s=finished - fetch_done,
+            total_s=finished - started,
+        )
+        group.records = records
+        for outcome in outcomes:
+            outcome.metrics = metrics
+        registry.histogram("engine.index_s").observe(metrics.index_s)
+        registry.histogram("engine.fetch_s").observe(metrics.fetch_s)
+        registry.histogram("engine.filter_s").observe(metrics.filter_s)
+        registry.histogram("engine.query_s").observe(metrics.total_s)
+        registry.histogram("engine.nodes_visited").observe(tally.count)
+        registry.histogram("engine.pages_read").observe(probe.physical_reads)
+        registry.histogram("engine.cache_hit_rate").observe(
+            probe.cache_hit_rate
+        )
+        return outcomes
+
+    def _execute_follower(self, group: _Group, leader_future) -> list[QueryOutcome]:
+        """Filter a subsumed group against its leader's records."""
+        leader_outcomes = leader_future.result()
+        leader_metrics = leader_outcomes[0].metrics
+        records = group.leader.records
+        assert records is not None
+        started = time.perf_counter()
+        outcomes = self._filter_group(group, records, shared=True)
+        filter_s = time.perf_counter() - started
+        metrics = QueryMetrics(
+            nodes_visited=leader_metrics.nodes_visited,
+            pages_read=leader_metrics.pages_read,
+            logical_reads=leader_metrics.logical_reads,
+            cache_hit_rate=leader_metrics.cache_hit_rate,
+            filter_s=filter_s,
+            total_s=filter_s,
+            shared=True,
+        )
+        for outcome in outcomes:
+            outcome.metrics = metrics
+        self.registry.histogram("engine.filter_s").observe(filter_s)
+        return outcomes
+
+    @staticmethod
+    def _filter_group(
+        group: _Group, records: list[DMNodeRecord], shared: bool
+    ) -> list[QueryOutcome]:
+        outcomes: list[QueryOutcome] = []
+        first_result: DMQueryResult | None = None
+        for request in group.requests:
+            if first_result is None:
+                nodes = request.filter(records)
+                first_result = DMQueryResult(
+                    nodes=nodes, retrieved=len(records)
+                )
+            # Duplicate requests in the group share the result object
+            # (they are equal, so their filters agree by construction).
+            outcomes.append(
+                QueryOutcome(request, first_result, QueryMetrics(shared=shared))
+            )
+        return outcomes

@@ -35,6 +35,8 @@ __all__ = [
     "uniform_query",
     "single_base_query",
     "multi_base_query",
+    "filter_uniform",
+    "filter_to_plane",
 ]
 
 
@@ -108,11 +110,7 @@ def uniform_query(
     plane_box = Box3.from_rect(roi, lod, lod)
     rids = store.rtree.search(plane_box)
     records = store.read_records(rids)
-    nodes = {
-        rec.id: rec
-        for rec in records
-        if rec.interval_contains(lod) and roi.contains_point(rec.x, rec.y)
-    }
+    nodes = filter_uniform(records, roi, lod)
     return DMQueryResult(nodes=nodes, retrieved=len(records))
 
 
@@ -127,7 +125,7 @@ def single_base_query(
     cube = Box3.from_rect(plane.roi, plane.e_min, plane.e_max)
     rids = store.rtree.search(cube)
     records = store.read_records(rids)
-    nodes = _filter_to_plane(records, plane)
+    nodes = filter_to_plane(records, plane)
     return DMQueryResult(nodes=nodes, retrieved=len(records))
 
 
@@ -156,7 +154,7 @@ def multi_base_query(
         retrieved += len(records)
         for rec in records:
             merged.setdefault(rec.id, rec)
-    nodes = _filter_to_plane(merged.values(), plane)
+    nodes = filter_to_plane(merged.values(), plane)
     return DMQueryResult(
         nodes=nodes,
         retrieved=retrieved,
@@ -165,7 +163,22 @@ def multi_base_query(
     )
 
 
-def _filter_to_plane(records, plane: QueryPlane) -> dict[int, DMNodeRecord]:
+def filter_uniform(
+    records, roi: Rect, lod: float
+) -> dict[int, DMNodeRecord]:
+    """The uniform-query predicate: half-open LOD interval over
+    ``roi``.  Shared by :func:`uniform_query` and the batched engine so
+    both paths return identical approximations."""
+    return {
+        rec.id: rec
+        for rec in records
+        if rec.interval_contains(lod) and roi.contains_point(rec.x, rec.y)
+    }
+
+
+def filter_to_plane(records, plane: QueryPlane) -> dict[int, DMNodeRecord]:
+    """The viewpoint-dependent predicate: each node's interval must
+    contain the plane's required LOD at the node's position."""
     roi = plane.roi
     nodes: dict[int, DMNodeRecord] = {}
     for rec in records:

@@ -213,7 +213,9 @@ def segments_intersect(
     return False
 
 
-def _on_segment(ax: float, ay: float, bx: float, by: float, px: float, py: float) -> bool:
+def _on_segment(
+    ax: float, ay: float, bx: float, by: float, px: float, py: float
+) -> bool:
     """True if collinear point ``p`` lies within the bounding box of ``ab``."""
     return min(ax, bx) <= px <= max(ax, bx) and min(ay, by) <= py <= max(ay, by)
 

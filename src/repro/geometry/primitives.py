@@ -233,7 +233,11 @@ class Box3:
     max_e: float
 
     def __post_init__(self) -> None:
-        if self.min_x > self.max_x or self.min_y > self.max_y or self.min_e > self.max_e:
+        if (
+            self.min_x > self.max_x
+            or self.min_y > self.max_y
+            or self.min_e > self.max_e
+        ):
             raise GeometryError(
                 f"inverted box: ({self.min_x}, {self.min_y}, {self.min_e}) "
                 f"to ({self.max_x}, {self.max_y}, {self.max_e})"
@@ -245,7 +249,9 @@ class Box3:
         return cls(rect.min_x, rect.min_y, min_e, rect.max_x, rect.max_y, max_e)
 
     @classmethod
-    def vertical_segment(cls, x: float, y: float, e_low: float, e_high: float) -> "Box3":
+    def vertical_segment(
+        cls, x: float, y: float, e_low: float, e_high: float
+    ) -> "Box3":
         """The degenerate box for a DM node's vertical segment.
 
         A Direct Mesh node with LOD interval ``[e_low, e_high)`` is

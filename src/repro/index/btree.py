@@ -190,7 +190,7 @@ class BPlusTree:
         """Iterate every ``(key, value)`` in key order."""
         yield from self.range(0, (1 << 64) - 1)
 
-    # -- insertion -----------------------------------------------------------------------
+    # -- insertion ---------------------------------------------------------------------
 
     def insert(self, key: int, value: int) -> None:
         """Insert or overwrite ``key``."""
@@ -286,7 +286,7 @@ class BPlusTree:
         if items:
             self.bulk_load(items)
 
-    # -- bulk loading ------------------------------------------------------------------------
+    # -- bulk loading ------------------------------------------------------------------
 
     def bulk_load(self, items: Sequence[tuple[int, int]]) -> None:
         """Replace contents by packing sorted unique ``(key, value)``."""
@@ -329,7 +329,7 @@ class BPlusTree:
         self._count = len(items)
         self._save_meta()
 
-    # -- validation --------------------------------------------------------------------------
+    # -- validation --------------------------------------------------------------------
 
     def validate(self) -> None:
         """Check key ordering and leaf chaining."""

@@ -222,7 +222,7 @@ class LodQuadtree:
         self._segment.mark_dirty(page_no)
         return page_no
 
-    # -- query ----------------------------------------------------------------------------
+    # -- query -------------------------------------------------------------------------
 
     def range_search(self, query: Box3) -> list[tuple[float, float, float, int]]:
         """All ``(x, y, e, value)`` points inside the closed ``query`` box."""

@@ -219,12 +219,20 @@ class RStarTree:
 
     # -- search ----------------------------------------------------------------------
 
-    def search(self, query: Box3) -> list[int]:
-        """Payloads of all leaf entries whose box intersects ``query``."""
+    def search(self, query: Box3, node_counter=None) -> list[int]:
+        """Payloads of all leaf entries whose box intersects ``query``.
+
+        ``node_counter`` — any object with an ``inc()`` method, e.g. a
+        :class:`repro.obs.metrics.Counter` — receives one increment per
+        tree node visited, so callers can report traversal effort
+        per query.
+        """
         results: list[int] = []
         stack = [(self._root, self._height)]
         while stack:
             page_no, level = stack.pop()
+            if node_counter is not None:
+                node_counter.inc()
             is_leaf, entries = self._read_node(page_no)
             if is_leaf:
                 for box, payload in entries:
@@ -264,7 +272,7 @@ class RStarTree:
                 else:
                     stack.append(payload)
 
-    # -- insertion -----------------------------------------------------------------------
+    # -- insertion ---------------------------------------------------------------------
 
     def insert(self, box: Box3, value: int) -> None:
         """Insert one ``(box, value)`` pair with the R* heuristics."""
@@ -482,7 +490,7 @@ class RStarTree:
         assert best is not None
         return best
 
-    # -- deletion --------------------------------------------------------------------------
+    # -- deletion ----------------------------------------------------------------------
 
     def delete(self, box: Box3, value: int) -> bool:
         """Remove the leaf entry ``(box, value)``; returns whether it
@@ -582,7 +590,7 @@ class RStarTree:
             self._root = entries[0][1]
             self._height -= 1
 
-    # -- bulk loading ----------------------------------------------------------------------
+    # -- bulk loading ------------------------------------------------------------------
 
     def bulk_load(self, entries: Sequence[tuple[Box3, int]]) -> None:
         """Replace the tree contents by STR packing of ``entries``.
@@ -622,7 +630,7 @@ class RStarTree:
         self._space = union_all_boxes([b for b, _ in entries])
         self._save_meta()
 
-    # -- cost-model statistics -------------------------------------------------------------
+    # -- cost-model statistics ---------------------------------------------------------
 
     def node_stats(self) -> RTreeNodeStats:
         """Aggregate normalised node extents for the paper's cost model."""
@@ -655,7 +663,7 @@ class RStarTree:
                 stack.extend(child for _, child in entries)
         return RTreeNodeStats(n, sw, sh, sd, swh, swd, shd, swhd, space)
 
-    # -- validation -----------------------------------------------------------------------
+    # -- validation --------------------------------------------------------------------
 
     def validate(self) -> None:
         """Check MBR containment, fill factors, and uniform leaf depth."""

@@ -13,8 +13,8 @@ Public surface:
   quadrics.
 """
 
-from repro.mesh.progressive import LOD_INFINITY, NULL_ID, PMNode, ProgressiveMesh
 from repro.mesh.pmfile import load_pm, save_pm
+from repro.mesh.progressive import LOD_INFINITY, NULL_ID, PMNode, ProgressiveMesh
 from repro.mesh.quadric import Quadric, triangle_plane_quadric
 from repro.mesh.selective import (
     selective_subtree,

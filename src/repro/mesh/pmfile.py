@@ -26,7 +26,6 @@ import zlib
 from pathlib import Path
 
 from repro.errors import DatasetError
-from repro.geometry.primitives import Rect
 from repro.mesh.progressive import PMNode, ProgressiveMesh
 from repro.storage.varint import decode_id_list, encode_id_list
 

@@ -25,9 +25,8 @@ carries the LOD interval ``[e_low, e_high) = [m.e, m.parent.e)``
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
-from typing import Callable, Iterator, Sequence
+from dataclasses import dataclass
+from typing import Iterator, Sequence
 
 from repro.errors import MeshError
 from repro.geometry.primitives import Rect

@@ -13,7 +13,7 @@ The class is immutable-by-convention: simplification does not mutate a
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Iterable, Sequence
+from typing import Sequence
 
 from repro.errors import MeshError
 from repro.geometry.predicates import orient2d

@@ -1,0 +1,15 @@
+"""Observability: thread-safe metrics primitives for the query engine."""
+
+from repro.obs.metrics import (
+    Counter,
+    Histogram,
+    HistogramSnapshot,
+    MetricsRegistry,
+)
+
+__all__ = [
+    "Counter",
+    "Histogram",
+    "HistogramSnapshot",
+    "MetricsRegistry",
+]

@@ -1,0 +1,214 @@
+"""Thread-safe counters and histograms for the serving path.
+
+The storage layer already counts page traffic globally
+(:class:`~repro.storage.stats.DiskStats`); this module is the layer
+above it: named :class:`Counter` and :class:`Histogram` instruments
+collected in a :class:`MetricsRegistry`, safe to update from the query
+engine's worker threads.  The engine records R*-tree nodes visited,
+pages read, cache hit-rates and per-stage wall time here;
+:class:`~repro.storage.trace.IOTracer` and the benchmark runner can
+plug into the same registry so one report covers a whole run.
+
+Instruments are cheap (one lock acquisition per update) and never
+raise from the hot path; reading them returns immutable snapshots.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator
+
+__all__ = ["Counter", "Histogram", "HistogramSnapshot", "MetricsRegistry"]
+
+#: Samples retained per histogram for percentile estimation.  Updates
+#: past the cap still feed count/total/min/max; percentiles are then
+#: computed over the retained prefix.
+DEFAULT_MAX_SAMPLES = 8192
+
+
+class Counter:
+    """A monotonically increasing, thread-safe counter."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def inc(self, n: int = 1) -> None:
+        """Add ``n`` (must be non-negative) to the counter."""
+        with self._lock:
+            self._value += n
+
+    @property
+    def value(self) -> int:
+        """Current count."""
+        with self._lock:
+            return self._value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.value})"
+
+
+@dataclass(frozen=True)
+class HistogramSnapshot:
+    """Immutable summary of a histogram's observations."""
+
+    count: int
+    total: float
+    min: float
+    max: float
+    p50: float
+    p95: float
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of all observations (0 when empty)."""
+        if self.count == 0:
+            return 0.0
+        return self.total / self.count
+
+
+class Histogram:
+    """A thread-safe distribution of float observations.
+
+    Keeps exact count/total/min/max forever and up to
+    ``max_samples`` raw samples for percentile estimation.
+    """
+
+    __slots__ = ("_count", "_lock", "_max", "_max_samples", "_min",
+                 "_samples", "_total")
+
+    def __init__(self, max_samples: int = DEFAULT_MAX_SAMPLES) -> None:
+        self._lock = threading.Lock()
+        self._max_samples = max_samples
+        self._count = 0
+        self._total = 0.0
+        self._min = float("inf")
+        self._max = float("-inf")
+        self._samples: list[float] = []
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        with self._lock:
+            self._count += 1
+            self._total += value
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
+            if len(self._samples) < self._max_samples:
+                self._samples.append(value)
+
+    @property
+    def count(self) -> int:
+        """Number of observations."""
+        with self._lock:
+            return self._count
+
+    def percentile(self, p: float) -> float:
+        """The ``p``-th percentile (0..100) over retained samples."""
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        with self._lock:
+            samples = sorted(self._samples)
+        if not samples:
+            return 0.0
+        rank = (p / 100.0) * (len(samples) - 1)
+        lo = int(rank)
+        hi = min(lo + 1, len(samples) - 1)
+        frac = rank - lo
+        return samples[lo] * (1 - frac) + samples[hi] * frac
+
+    def snapshot(self) -> HistogramSnapshot:
+        """An immutable summary (zeroes when empty)."""
+        with self._lock:
+            if self._count == 0:
+                return HistogramSnapshot(0, 0.0, 0.0, 0.0, 0.0, 0.0)
+            count, total = self._count, self._total
+            lo, hi = self._min, self._max
+        return HistogramSnapshot(
+            count, total, lo, hi, self.percentile(50), self.percentile(95)
+        )
+
+
+class MetricsRegistry:
+    """A named collection of counters and histograms.
+
+    Instruments are created on first use and shared afterwards, so
+    independent components can contribute to the same metric by name::
+
+        registry = MetricsRegistry()
+        registry.counter("engine.requests").inc()
+        with registry.timer("engine.query_s"):
+            run_query()
+        print(registry.report())
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        """The counter called ``name`` (created on first use)."""
+        with self._lock:
+            counter = self._counters.get(name)
+            if counter is None:
+                counter = Counter()
+                self._counters[name] = counter
+            return counter
+
+    def histogram(self, name: str) -> Histogram:
+        """The histogram called ``name`` (created on first use)."""
+        with self._lock:
+            histogram = self._histograms.get(name)
+            if histogram is None:
+                histogram = Histogram()
+                self._histograms[name] = histogram
+            return histogram
+
+    @contextmanager
+    def timer(self, name: str) -> Iterator[None]:
+        """Time a block into the histogram ``name`` (in seconds)."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.histogram(name).observe(time.perf_counter() - start)
+
+    # -- reading -----------------------------------------------------------
+
+    def counters(self) -> dict[str, int]:
+        """Name -> value for every counter."""
+        with self._lock:
+            items = list(self._counters.items())
+        return {name: counter.value for name, counter in items}
+
+    def histograms(self) -> dict[str, HistogramSnapshot]:
+        """Name -> snapshot for every histogram."""
+        with self._lock:
+            items = list(self._histograms.items())
+        return {name: hist.snapshot() for name, hist in items}
+
+    def report(self) -> str:
+        """A human-readable dump of every instrument."""
+        lines = ["metrics", "-------"]
+        for name, value in sorted(self.counters().items()):
+            lines.append(f"{name:<28} {value}")
+        for name, snap in sorted(self.histograms().items()):
+            lines.append(
+                f"{name:<28} n={snap.count} mean={snap.mean:.6g} "
+                f"p50={snap.p50:.6g} p95={snap.p95:.6g} max={snap.max:.6g}"
+            )
+        return "\n".join(lines)
+
+    def reset(self) -> None:
+        """Drop every instrument (names are re-created on next use)."""
+        with self._lock:
+            self._counters.clear()
+            self._histograms.clear()

@@ -8,20 +8,33 @@ on eviction and on :meth:`BufferPool.flush`.
 The paper's methodology — "the database and system buffer is flushed
 before each test" — maps to calling :meth:`flush` before each measured
 query, after which every first touch of a page is a disk access.
+
+Concurrency: the read path is safe to call from many threads at once
+(the query engine's worker pool shares one database).  A short global
+latch protects the frame map, while physical reads — the slow part —
+run outside it under per-page *striped* locks, so misses on different
+pages overlap while two threads missing on the *same* page perform
+only one physical read between them.  Writers (builds, deletes) are
+not parallelised; run mutations single-threaded as before.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 
 from repro.errors import BufferPoolError
 from repro.storage.pager import Pager
 from repro.storage.stats import DiskStats
 
-__all__ = ["BufferPool", "DEFAULT_POOL_PAGES"]
+__all__ = ["BufferPool", "DEFAULT_POOL_PAGES", "DEFAULT_LOCK_STRIPES"]
 
 #: Default pool capacity: 256 x 8 KiB = 2 MiB.
 DEFAULT_POOL_PAGES = 256
+
+#: Number of page-load lock stripes; misses on pages in different
+#: stripes proceed in parallel.
+DEFAULT_LOCK_STRIPES = 64
 
 
 class _Frame:
@@ -37,13 +50,27 @@ class BufferPool:
     """A shared LRU page cache with write-back semantics."""
 
     def __init__(
-        self, stats: DiskStats, capacity: int = DEFAULT_POOL_PAGES
+        self,
+        stats: DiskStats,
+        capacity: int = DEFAULT_POOL_PAGES,
+        lock_stripes: int = DEFAULT_LOCK_STRIPES,
     ) -> None:
         if capacity < 1:
             raise BufferPoolError(f"capacity must be >= 1, got {capacity}")
+        if lock_stripes < 1:
+            raise BufferPoolError(
+                f"lock_stripes must be >= 1, got {lock_stripes}"
+            )
         self._stats = stats
         self._capacity = capacity
         self._frames: OrderedDict[tuple[str, int], _Frame] = OrderedDict()
+        # Latch: protects the frame map itself (lookups, LRU order,
+        # admission, eviction).  Held only for dictionary work, never
+        # across a physical read.
+        self._latch = threading.Lock()
+        # Stripes: serialise *loading* of any one page so concurrent
+        # misses on the same page do one disk read, not several.
+        self._stripes = [threading.Lock() for _ in range(lock_stripes)]
 
     # -- configuration -----------------------------------------------------
 
@@ -56,9 +83,10 @@ class BufferPool:
         """Change capacity; evicts (writing back) if shrinking."""
         if capacity < 1:
             raise BufferPoolError(f"capacity must be >= 1, got {capacity}")
-        self._capacity = capacity
-        while len(self._frames) > self._capacity:
-            self._evict_one()
+        with self._latch:
+            self._capacity = capacity
+            while len(self._frames) > self._capacity:
+                self._evict_one()
 
     # -- page access ---------------------------------------------------------
 
@@ -71,13 +99,24 @@ class BufferPool:
         """
         key = (pager.name, page_no)
         self._stats.record_logical_read(pager.name)
-        frame = self._frames.get(key)
-        if frame is not None:
-            self._frames.move_to_end(key)
-            return frame.data
-        data = pager.read_page(page_no)  # Counts the physical read.
-        self._admit(key, _Frame(data, pager))
-        return data
+        with self._latch:
+            frame = self._frames.get(key)
+            if frame is not None:
+                self._frames.move_to_end(key)
+                return frame.data
+        stripe = self._stripes[hash(key) % len(self._stripes)]
+        with stripe:
+            # Double-check: another thread may have loaded the page
+            # while we waited for the stripe.
+            with self._latch:
+                frame = self._frames.get(key)
+                if frame is not None:
+                    self._frames.move_to_end(key)
+                    return frame.data
+            data = pager.read_page(page_no)  # Counts the physical read.
+            with self._latch:
+                self._admit(key, _Frame(data, pager))
+            return data
 
     def put_new(self, pager: Pager, page_no: int, data: bytearray) -> None:
         """Install a freshly allocated page without reading from disk.
@@ -89,17 +128,19 @@ class BufferPool:
         key = (pager.name, page_no)
         frame = _Frame(data, pager)
         frame.dirty = True
-        self._admit(key, frame)
+        with self._latch:
+            self._admit(key, frame)
 
     def mark_dirty(self, pager: Pager, page_no: int) -> None:
         """Flag a cached page as modified."""
         key = (pager.name, page_no)
-        frame = self._frames.get(key)
-        if frame is None:
-            raise BufferPoolError(
-                f"page {page_no} of {pager.name} is not resident"
-            )
-        frame.dirty = True
+        with self._latch:
+            frame = self._frames.get(key)
+            if frame is None:
+                raise BufferPoolError(
+                    f"page {page_no} of {pager.name} is not resident"
+                )
+            frame.dirty = True
 
     # -- maintenance ------------------------------------------------------------
 
@@ -109,25 +150,31 @@ class BufferPool:
         This is the paper's 'flush the database buffer before each
         test': afterwards, all page touches are cold.
         """
-        for (name, page_no), frame in self._frames.items():
-            if frame.dirty:
-                frame.pager.write_page(page_no, frame.data)
-        self._frames.clear()
+        with self._latch:
+            for (name, page_no), frame in self._frames.items():
+                if frame.dirty:
+                    frame.pager.write_page(page_no, frame.data)
+            self._frames.clear()
 
     def flush_dirty(self) -> None:
         """Write back dirty pages but keep the cache warm."""
-        for (name, page_no), frame in self._frames.items():
-            if frame.dirty:
-                frame.pager.write_page(page_no, frame.data)
-                frame.dirty = False
+        with self._latch:
+            for (name, page_no), frame in self._frames.items():
+                if frame.dirty:
+                    frame.pager.write_page(page_no, frame.data)
+                    frame.dirty = False
 
     def resident_pages(self) -> int:
         """Number of pages currently cached."""
-        return len(self._frames)
+        with self._latch:
+            return len(self._frames)
 
-    # -- internals -----------------------------------------------------------------
+    # -- internals (latch held) ---------------------------------------------
 
     def _admit(self, key: tuple[str, int], frame: _Frame) -> None:
+        if key in self._frames:  # Lost a race on another stripe: keep LRU.
+            self._frames.move_to_end(key)
+            return
         while len(self._frames) >= self._capacity:
             self._evict_one()
         self._frames[key] = frame

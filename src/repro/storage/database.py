@@ -74,6 +74,9 @@ class Database:
         pool_pages: buffer pool capacity in pages.
         page_size: page size for all segments.
         overwrite: if true, delete any existing directory contents.
+        io_latency: simulated per-physical-read device latency in
+            seconds (see :attr:`repro.storage.pager.Pager.io_latency`);
+            0 disables it.
     """
 
     def __init__(
@@ -82,6 +85,7 @@ class Database:
         pool_pages: int = DEFAULT_POOL_PAGES,
         page_size: int = DEFAULT_PAGE_SIZE,
         overwrite: bool = False,
+        io_latency: float = 0.0,
     ) -> None:
         self.path = Path(path)
         if overwrite and self.path.exists():
@@ -90,6 +94,7 @@ class Database:
         self.page_size = page_size
         self.stats = DiskStats()
         self.buffer = BufferPool(self.stats, pool_pages)
+        self._io_latency = io_latency
         self._pagers: dict[str, Pager] = {}
         self._closed = False
         self._wal = None
@@ -122,8 +127,16 @@ class Database:
                 page_size=self.page_size,
             )
             pager.wal = self._wal  # Join any active atomic scope.
+            pager.io_latency = self._io_latency
             self._pagers[name] = pager
         return Segment(pager, self.buffer)
+
+    def set_io_latency(self, seconds: float) -> None:
+        """Set the simulated read latency on every (current and
+        future) segment."""
+        self._io_latency = seconds
+        for pager in self._pagers.values():
+            pager.io_latency = seconds
 
     def has_segment(self, name: str) -> bool:
         """True if the segment file exists on disk."""

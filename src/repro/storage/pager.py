@@ -10,6 +10,8 @@ layers separate is what makes the disk-access accounting trustworthy.
 from __future__ import annotations
 
 import os
+import threading
+import time
 from pathlib import Path
 
 from repro.errors import StorageError
@@ -48,9 +50,19 @@ class Pager:
             )
         self._n_pages = size // page_size
         self._closed = False
+        self._alloc_lock = threading.Lock()
         #: Optional :class:`repro.storage.wal.WriteAheadLog`; when set,
         #: every in-place page write is logged first.
         self.wal = None
+        #: Simulated per-read device latency in seconds (0 = off).
+        #: ``pread`` on a warm OS page cache takes microseconds, which
+        #: makes wall-clock benchmarks of a *disk-resident* design
+        #: meaningless; sleeping here restores an I/O-bound profile so
+        #: throughput experiments exercise the same trade-offs the
+        #: disk-access counters measure.  The sleep releases the GIL,
+        #: so concurrent readers overlap their stalls — exactly what
+        #: the buffer pool's lock striping is for.
+        self.io_latency = 0.0
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -85,9 +97,12 @@ class Pager:
         Allocation writes the page, which counts as a physical write.
         """
         self._check_open()
-        page_no = self._n_pages
-        os.pwrite(self._fd, b"\x00" * self.page_size, page_no * self.page_size)
-        self._n_pages += 1
+        with self._alloc_lock:
+            page_no = self._n_pages
+            os.pwrite(
+                self._fd, b"\x00" * self.page_size, page_no * self.page_size
+            )
+            self._n_pages += 1
         self._stats.record_physical_write(self.name)
         return page_no
 
@@ -95,6 +110,8 @@ class Pager:
         """Read page ``page_no`` from disk (a *physical read*)."""
         self._check_open()
         self._check_range(page_no)
+        if self.io_latency > 0.0:
+            time.sleep(self.io_latency)
         data = os.pread(self._fd, self.page_size, page_no * self.page_size)
         if len(data) != self.page_size:
             raise StorageError(

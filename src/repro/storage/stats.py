@@ -15,11 +15,12 @@ Use :meth:`DiskStats.measure` to scope counters to one query.
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator
 
-__all__ = ["DiskStats", "StatsSnapshot"]
+__all__ = ["AccessProbe", "DiskStats", "StatsSnapshot"]
 
 
 @dataclass(frozen=True)
@@ -77,10 +78,39 @@ class StatsSnapshot:
         return "\n".join(lines)
 
 
+@dataclass
+class AccessProbe:
+    """Per-thread page-access tally (see :meth:`DiskStats.attribute`).
+
+    Only the thread that entered the ``attribute()`` scope updates its
+    probe, so reads and writes here need no locking.
+    """
+
+    physical_reads: int = 0
+    physical_writes: int = 0
+    logical_reads: int = 0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Buffer hit fraction: ``1 - physical/logical`` (0 if idle)."""
+        if self.logical_reads == 0:
+            return 0.0
+        return 1.0 - self.physical_reads / self.logical_reads
+
+
 class DiskStats:
-    """Mutable counters shared by all storage components of a database."""
+    """Mutable counters shared by all storage components of a database.
+
+    Updates are thread-safe: the query engine fans requests out across
+    a thread pool against one shared buffer pool, and every worker's
+    page traffic lands here.  Per-thread attribution — "how many pages
+    did *this* query touch while others ran concurrently" — is scoped
+    with :meth:`attribute`.
+    """
 
     def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._local = threading.local()
         self._physical_reads = 0
         self._physical_writes = 0
         self._logical_reads = 0
@@ -93,18 +123,51 @@ class DiskStats:
 
     def record_physical_read(self, segment: str, pages: int = 1) -> None:
         """Count ``pages`` physical page reads against ``segment``."""
-        self._physical_reads += pages
-        self._segment(segment)["physical_reads"] += pages
+        with self._lock:
+            self._physical_reads += pages
+            self._segment(segment)["physical_reads"] += pages
+        probe = getattr(self._local, "probe", None)
+        if probe is not None:
+            probe.physical_reads += pages
 
     def record_physical_write(self, segment: str, pages: int = 1) -> None:
         """Count ``pages`` physical page writes against ``segment``."""
-        self._physical_writes += pages
-        self._segment(segment)["physical_writes"] += pages
+        with self._lock:
+            self._physical_writes += pages
+            self._segment(segment)["physical_writes"] += pages
+        probe = getattr(self._local, "probe", None)
+        if probe is not None:
+            probe.physical_writes += pages
 
     def record_logical_read(self, segment: str, pages: int = 1) -> None:
         """Count ``pages`` buffer requests against ``segment``."""
-        self._logical_reads += pages
-        self._segment(segment)["logical_reads"] += pages
+        with self._lock:
+            self._logical_reads += pages
+            self._segment(segment)["logical_reads"] += pages
+        probe = getattr(self._local, "probe", None)
+        if probe is not None:
+            probe.logical_reads += pages
+
+    @contextmanager
+    def attribute(self) -> Iterator[AccessProbe]:
+        """Attribute page accesses made by *the calling thread* inside
+        the scope to a fresh :class:`AccessProbe`::
+
+            with stats.attribute() as probe:
+                run_query()
+            print(probe.physical_reads, probe.cache_hit_rate)
+
+        Unlike :meth:`measure`, which reads the global counters and is
+        polluted by concurrent activity, the probe sees only the
+        current thread's traffic, so per-query metrics stay accurate
+        under the concurrent engine.  Scopes do not nest.
+        """
+        probe = AccessProbe()
+        self._local.probe = probe
+        try:
+            yield probe
+        finally:
+            self._local.probe = None
 
     def _segment(self, name: str) -> dict[str, int]:
         bucket = self._by_segment.get(name)
@@ -136,19 +199,21 @@ class DiskStats:
 
     def snapshot(self) -> StatsSnapshot:
         """An immutable copy of all counters."""
-        return StatsSnapshot(
-            self._physical_reads,
-            self._physical_writes,
-            self._logical_reads,
-            {name: dict(seg) for name, seg in self._by_segment.items()},
-        )
+        with self._lock:
+            return StatsSnapshot(
+                self._physical_reads,
+                self._physical_writes,
+                self._logical_reads,
+                {name: dict(seg) for name, seg in self._by_segment.items()},
+            )
 
     def reset(self) -> None:
         """Zero every counter."""
-        self._physical_reads = 0
-        self._physical_writes = 0
-        self._logical_reads = 0
-        self._by_segment.clear()
+        with self._lock:
+            self._physical_reads = 0
+            self._physical_writes = 0
+            self._logical_reads = 0
+            self._by_segment.clear()
 
     @contextmanager
     def measure(self) -> Iterator["_Measurement"]:

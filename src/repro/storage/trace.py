@@ -88,22 +88,29 @@ class IOTrace:
 
 class IOTracer:
     """Records the pager's physical-read sequence via
-    :attr:`DiskStats.trace_hook`."""
+    :attr:`DiskStats.trace_hook`.
 
-    def __init__(self, stats: DiskStats) -> None:
+    When a :class:`~repro.obs.metrics.MetricsRegistry` is supplied,
+    every read also increments the per-segment counter
+    ``io.reads.<segment>`` there, so traces and engine metrics land in
+    one report.
+    """
+
+    def __init__(self, stats: DiskStats, registry=None) -> None:
         self._stats = stats
+        self._registry = registry
         self._attached = False
         self.trace = IOTrace()
 
     @classmethod
-    def attach(cls, stats: DiskStats) -> "IOTracer":
+    def attach(cls, stats: DiskStats, registry=None) -> "IOTracer":
         """Start recording physical reads on ``stats``.
 
         Only one tracer may be attached at a time.
         """
         if stats.trace_hook is not None:
             raise StorageError("a tracer is already attached")
-        tracer = cls(stats)
+        tracer = cls(stats, registry)
         # Bind once: bound-method expressions create fresh objects per
         # access, which would defeat identity checks at detach time.
         tracer._hook = tracer._on_read
@@ -113,6 +120,8 @@ class IOTracer:
 
     def _on_read(self, segment: str, page_no: int) -> None:
         self.trace.reads.append((segment, page_no))
+        if self._registry is not None:
+            self._registry.counter(f"io.reads.{segment}").inc()
 
     def detach(self) -> IOTrace:
         """Stop recording and return the trace."""

@@ -13,17 +13,17 @@ Public surface:
 * :mod:`repro.terrain.io` — XYZ / ESRI ASCII / OBJ round-tripping.
 """
 
+from repro.terrain.analysis import (
+    ApproximationError,
+    measure_against_field,
+    surface_sampler,
+)
 from repro.terrain.datasets import (
     TerrainDataset,
     crater_dataset,
     dataset_by_name,
     foothills_dataset,
     scale_factor,
-)
-from repro.terrain.analysis import (
-    ApproximationError,
-    measure_against_field,
-    surface_sampler,
 )
 from repro.terrain.dem import DEM
 from repro.terrain.gridfield import GridField

@@ -19,7 +19,7 @@ dataset sizes, e.g. ``REPRO_SCALE=4`` for a 100k/320k-point run.
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field as dataclass_field
+from dataclasses import dataclass
 
 from repro.core.connectivity import build_connection_lists
 from repro.errors import DatasetError

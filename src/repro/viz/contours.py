@@ -10,8 +10,6 @@ rasterised query result) and returns polyline segments per level;
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.errors import ReproError
 from repro.terrain.gridfield import GridField
 

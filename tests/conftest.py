@@ -13,9 +13,9 @@ import random
 
 import pytest
 
+from repro.baselines.pm_db import PMStore
 from repro.core.connectivity import build_connection_lists
 from repro.core.direct_mesh import DirectMeshStore
-from repro.baselines.pm_db import PMStore
 from repro.index.hdov import HDoVTree
 from repro.mesh.simplify import SimplifyConfig, simplify_to_pm
 from repro.mesh.trimesh import TriMesh

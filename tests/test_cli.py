@@ -107,6 +107,40 @@ class TestQuery:
         assert code == 0
 
 
+class TestBenchServe:
+    def test_bench_serve_sweeps_workers(self, built_db, capsys):
+        code = main(
+            [
+                "bench-serve",
+                str(built_db),
+                "--requests", "8",
+                "--workers", "1,2",
+                "--seed", "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "queries/s" in out
+        assert "speedup" in out
+
+    def test_bench_serve_mixed_with_metrics(self, built_db, capsys):
+        code = main(
+            [
+                "bench-serve",
+                str(built_db),
+                "--requests", "6",
+                "--workers", "2",
+                "--mode", "mixed",
+                "--dedup", "subsume",
+                "--metrics",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "engine.range_queries" in out
+        assert "engine.query_s" in out
+
+
 class TestErrors:
     def test_info_on_missing_dir(self, tmp_path, capsys):
         code = main(["info", str(tmp_path / "nope")])

@@ -1,0 +1,268 @@
+"""The concurrent batched query engine.
+
+The contract under test: whatever the worker count, batch order, or
+dedup policy, the engine returns the *same approximations* as the
+sequential query processors — and in the default ``"exact"`` mode the
+results are byte-identical (same nodes, same ``retrieved`` count).
+"""
+
+import random
+
+import pytest
+
+from repro.core import DirectMeshStore, QueryEngine
+from repro.core.engine import SingleBaseRequest, UniformRequest
+from repro.errors import QueryError
+from repro.geometry.plane import QueryPlane
+from repro.geometry.primitives import Rect
+from repro.obs.metrics import MetricsRegistry
+from repro.storage import Database
+from repro.terrain import dataset_by_name
+
+
+@pytest.fixture(scope="module")
+def store(tmp_path_factory):
+    dataset = dataset_by_name("foothills", 1500, seed=11)
+    db = Database(tmp_path_factory.mktemp("engine_db"), pool_pages=128)
+    store = DirectMeshStore.build(dataset.pm, db, dataset.connections)
+    yield store
+    db.close()
+
+
+def _extent(store) -> Rect:
+    return store.rtree.data_space.rect
+
+
+def _random_uniform(store, rng, frac=0.3) -> UniformRequest:
+    extent = _extent(store)
+    side = frac * min(extent.width, extent.height)
+    x0 = extent.min_x + rng.random() * (extent.width - side)
+    y0 = extent.min_y + rng.random() * (extent.height - side)
+    lod = rng.random() * store.max_lod
+    return UniformRequest(Rect(x0, y0, x0 + side, y0 + side), lod)
+
+
+def _assert_identical(outcome, reference):
+    assert outcome.result.nodes == reference.nodes
+    assert outcome.result.retrieved == reference.retrieved
+    assert outcome.result.n_range_queries == reference.n_range_queries
+    # The reconstructed meshes must serialise to the same bytes.
+    assert outcome.result.vertex_mesh() == reference.vertex_mesh()
+
+
+class TestBatchIdentity:
+    def test_uniform_matches_sequential(self, store):
+        rng = random.Random(1)
+        requests = [_random_uniform(store, rng) for _ in range(8)]
+        with QueryEngine(store, workers=4) as engine:
+            outcomes = engine.run_batch(requests)
+        assert len(outcomes) == len(requests)
+        for request, outcome in zip(requests, outcomes):
+            assert outcome.request is request
+            reference = store.uniform_query(request.roi, request.lod)
+            _assert_identical(outcome, reference)
+
+    def test_single_base_matches_sequential(self, store):
+        extent = _extent(store)
+        max_lod = store.max_lod
+        planes = [
+            QueryPlane(extent, 0.1 * max_lod, 0.6 * max_lod),
+            QueryPlane(extent, 0.3 * max_lod, 0.9 * max_lod, (1.0, 0.0)),
+        ]
+        with QueryEngine(store, workers=2) as engine:
+            outcomes = engine.run_batch(
+                [SingleBaseRequest(p) for p in planes]
+            )
+        for plane, outcome in zip(planes, outcomes):
+            _assert_identical(outcome, store.single_base_query(plane))
+
+    def test_property_random_rois_and_lods(self, store):
+        """Property-style sweep: any random ROI/LOD batch at any
+        worker count agrees with the sequential reference."""
+        rng = random.Random(1234)
+        for workers in (1, 3, 8):
+            requests = [
+                _random_uniform(store, rng, frac=0.1 + 0.5 * rng.random())
+                for _ in range(12)
+            ]
+            with QueryEngine(store, workers=workers) as engine:
+                outcomes = engine.run_batch(requests)
+            for request, outcome in zip(requests, outcomes):
+                reference = store.uniform_query(request.roi, request.lod)
+                _assert_identical(outcome, reference)
+
+    def test_empty_batch(self, store):
+        with QueryEngine(store, workers=2) as engine:
+            assert engine.run_batch([]) == []
+
+    def test_run_single(self, store):
+        request = _random_uniform(store, random.Random(5))
+        with QueryEngine(store, workers=1) as engine:
+            outcome = engine.run(request)
+        _assert_identical(
+            outcome, store.uniform_query(request.roi, request.lod)
+        )
+
+
+class TestDedup:
+    def test_exact_duplicates_share_one_range_query(self, store):
+        request = _random_uniform(store, random.Random(2))
+        registry = MetricsRegistry()
+        with QueryEngine(store, workers=4, registry=registry) as engine:
+            outcomes = engine.run_batch([request] * 6)
+        counters = registry.counters()
+        assert counters["engine.requests"] == 6
+        assert counters["engine.range_queries"] == 1
+        assert counters["engine.dedup_shared"] == 5
+        reference = store.uniform_query(request.roi, request.lod)
+        for outcome in outcomes:
+            _assert_identical(outcome, reference)
+
+    def test_dedup_off_probes_once_per_request(self, store):
+        request = _random_uniform(store, random.Random(3))
+        registry = MetricsRegistry()
+        with QueryEngine(
+            store, workers=2, dedup="off", registry=registry
+        ) as engine:
+            engine.run_batch([request] * 4)
+        assert registry.counters()["engine.range_queries"] == 4
+
+    def test_subsume_contained_roi_reuses_superset(self, store):
+        extent = _extent(store)
+        lod = 0.5 * store.max_lod
+        outer = UniformRequest(extent, lod)
+        quarter = Rect(
+            extent.min_x,
+            extent.min_y,
+            extent.min_x + extent.width / 2,
+            extent.min_y + extent.height / 2,
+        )
+        inner = UniformRequest(quarter, lod)
+        registry = MetricsRegistry()
+        with QueryEngine(
+            store, workers=4, dedup="subsume", registry=registry
+        ) as engine:
+            outcomes = engine.run_batch([outer, inner])
+        assert registry.counters()["engine.range_queries"] == 1
+        assert outcomes[1].metrics.shared
+        # The *approximation* is exact even though the fetch was shared.
+        reference = store.uniform_query(inner.roi, inner.lod)
+        assert outcomes[1].result.nodes == reference.nodes
+        _assert_identical(outcomes[0], store.uniform_query(outer.roi, lod))
+
+    def test_subsume_disjoint_boxes_not_merged(self, store):
+        extent = _extent(store)
+        half_w = extent.width / 2
+        left = UniformRequest(
+            Rect(extent.min_x, extent.min_y,
+                 extent.min_x + half_w * 0.9, extent.max_y),
+            0.4 * store.max_lod,
+        )
+        right = UniformRequest(
+            Rect(extent.min_x + half_w * 1.1, extent.min_y,
+                 extent.max_x, extent.max_y),
+            0.4 * store.max_lod,
+        )
+        registry = MetricsRegistry()
+        with QueryEngine(
+            store, workers=2, dedup="subsume", registry=registry
+        ) as engine:
+            outcomes = engine.run_batch([left, right])
+        assert registry.counters()["engine.range_queries"] == 2
+        for request, outcome in zip((left, right), outcomes):
+            _assert_identical(
+                outcome, store.uniform_query(request.roi, request.lod)
+            )
+
+
+class TestMetrics:
+    def test_per_query_metrics_populated(self, store):
+        request = UniformRequest(_extent(store), 0.5 * store.max_lod)
+        store.database.flush()  # Cold: the fetch must read pages.
+        with QueryEngine(store, workers=1) as engine:
+            outcome = engine.run(request)
+        metrics = outcome.metrics
+        assert metrics.nodes_visited >= 1
+        assert metrics.pages_read > 0
+        assert metrics.logical_reads >= metrics.pages_read
+        assert 0.0 <= metrics.cache_hit_rate <= 1.0
+        assert metrics.total_s > 0
+        assert metrics.index_s >= 0
+        assert metrics.fetch_s >= 0
+        assert not metrics.shared
+
+    def test_registry_histograms_cover_stages(self, store):
+        rng = random.Random(7)
+        registry = MetricsRegistry()
+        with QueryEngine(store, workers=4, registry=registry) as engine:
+            engine.run_batch([_random_uniform(store, rng) for _ in range(5)])
+        histograms = registry.histograms()
+        for name in (
+            "engine.index_s",
+            "engine.fetch_s",
+            "engine.query_s",
+            "engine.nodes_visited",
+            "engine.pages_read",
+            "engine.cache_hit_rate",
+        ):
+            assert histograms[name].count == 5, name
+
+    def test_warm_cache_has_high_hit_rate(self, store):
+        request = UniformRequest(_extent(store), 0.5 * store.max_lod)
+        with QueryEngine(store, workers=1) as engine:
+            engine.run(request)  # Warm the pool.
+            warm = engine.run(request)
+        assert warm.metrics.cache_hit_rate > 0.9
+
+
+class TestConcurrencyStress:
+    def test_large_mixed_batch_under_contention(self, store):
+        """Many overlapping queries racing on one buffer pool still
+        produce sequential-identical results."""
+        rng = random.Random(99)
+        extent = _extent(store)
+        requests = []
+        for _ in range(30):
+            requests.append(_random_uniform(store, rng))
+        requests.append(
+            SingleBaseRequest(
+                QueryPlane(extent, 0.2 * store.max_lod, 0.8 * store.max_lod)
+            )
+        )
+        store.database.flush()
+        with QueryEngine(store, workers=8) as engine:
+            outcomes = engine.run_batch(requests)
+        for request, outcome in zip(requests, outcomes):
+            if isinstance(request, UniformRequest):
+                reference = store.uniform_query(request.roi, request.lod)
+            else:
+                reference = store.single_base_query(request.plane)
+            _assert_identical(outcome, reference)
+
+    def test_global_counters_survive_concurrency(self, store):
+        """Thread-safe DiskStats: logical reads recorded concurrently
+        are neither lost nor double-counted (sum of per-query probes
+        equals the global delta)."""
+        rng = random.Random(13)
+        requests = [_random_uniform(store, rng) for _ in range(16)]
+        store.database.flush()
+        before = store.database.stats.snapshot()
+        with QueryEngine(store, workers=8, dedup="off") as engine:
+            outcomes = engine.run_batch(requests)
+        delta = store.database.stats.snapshot().delta(before)
+        assert delta.logical_reads == sum(
+            o.metrics.logical_reads for o in outcomes
+        )
+        assert delta.physical_reads == sum(
+            o.metrics.pages_read for o in outcomes
+        )
+
+
+class TestValidation:
+    def test_bad_worker_count(self, store):
+        with pytest.raises(QueryError):
+            QueryEngine(store, workers=0)
+
+    def test_bad_dedup_mode(self, store):
+        with pytest.raises(QueryError):
+            QueryEngine(store, dedup="fuzzy")

@@ -5,6 +5,7 @@ rotting.  Each runs as a subprocess with its smallest workload in an
 isolated working directory.
 """
 
+import os
 import subprocess
 import sys
 from pathlib import Path
@@ -15,6 +16,22 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 EXAMPLES = REPO_ROOT / "examples"
 
 
+def _example_env() -> dict[str, str]:
+    """The subprocess environment, with ``src/`` importable.
+
+    The examples import ``repro`` directly; prepending the source tree
+    to ``PYTHONPATH`` makes them run whether or not the package is
+    installed (the suite itself may be running off PYTHONPATH).
+    """
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        src if not existing else src + os.pathsep + existing
+    )
+    return env
+
+
 def run_example(tmp_path, name: str, *args: str) -> str:
     result = subprocess.run(
         [sys.executable, str(EXAMPLES / name), *args],
@@ -22,6 +39,7 @@ def run_example(tmp_path, name: str, *args: str) -> str:
         text=True,
         timeout=600,
         cwd=tmp_path,  # Outputs (results/) land in the temp dir.
+        env=_example_env(),
     )
     assert result.returncode == 0, (
         f"{name} failed:\nstdout:\n{result.stdout}\nstderr:\n{result.stderr}"

@@ -2,8 +2,6 @@
 
 import random
 
-import pytest
-
 from repro.geometry.primitives import Box3
 from repro.index.btree import BPlusTree
 from repro.index.rstar import RStarTree

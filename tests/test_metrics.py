@@ -1,0 +1,127 @@
+"""The observability layer: counters, histograms, registry."""
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import Counter, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_basic_increment(self):
+        counter = Counter()
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_concurrent_increments_are_not_lost(self):
+        counter = Counter()
+        n_threads, per_thread = 8, 5000
+
+        def work():
+            for _ in range(per_thread):
+                counter.inc()
+
+        threads = [threading.Thread(target=work) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.value == n_threads * per_thread
+
+
+class TestHistogram:
+    def test_summary_statistics(self):
+        hist = Histogram()
+        for value in (1.0, 2.0, 3.0, 4.0):
+            hist.observe(value)
+        snap = hist.snapshot()
+        assert snap.count == 4
+        assert snap.total == 10.0
+        assert snap.mean == 2.5
+        assert snap.min == 1.0
+        assert snap.max == 4.0
+
+    def test_percentiles_interpolate(self):
+        hist = Histogram()
+        for value in range(101):
+            hist.observe(float(value))
+        assert hist.percentile(0) == 0.0
+        assert hist.percentile(50) == 50.0
+        assert hist.percentile(100) == 100.0
+        assert hist.percentile(95) == pytest.approx(95.0)
+
+    def test_percentile_bounds_checked(self):
+        with pytest.raises(ValueError):
+            Histogram().percentile(101)
+
+    def test_empty_snapshot_is_zeroed(self):
+        snap = Histogram().snapshot()
+        assert snap.count == 0
+        assert snap.mean == 0.0
+        assert snap.p95 == 0.0
+
+    def test_sample_cap_keeps_exact_aggregates(self):
+        hist = Histogram(max_samples=10)
+        for value in range(100):
+            hist.observe(float(value))
+        snap = hist.snapshot()
+        assert snap.count == 100  # Aggregates are exact past the cap...
+        assert snap.max == 99.0
+        assert hist.percentile(50) <= 10.0  # ...percentiles approximate.
+
+    def test_concurrent_observations(self):
+        hist = Histogram()
+        n_threads, per_thread = 4, 2000
+
+        def work():
+            for i in range(per_thread):
+                hist.observe(float(i))
+
+        threads = [threading.Thread(target=work) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert hist.count == n_threads * per_thread
+
+
+class TestRegistry:
+    def test_instruments_are_shared_by_name(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc()
+        registry.counter("a").inc()
+        assert registry.counters()["a"] == 2
+        registry.histogram("h").observe(1.0)
+        assert registry.histograms()["h"].count == 1
+
+    def test_timer_records_seconds(self):
+        registry = MetricsRegistry()
+        with registry.timer("t"):
+            pass
+        snap = registry.histograms()["t"]
+        assert snap.count == 1
+        assert 0 <= snap.max < 1.0
+
+    def test_timer_records_on_exception(self):
+        registry = MetricsRegistry()
+        with pytest.raises(RuntimeError):
+            with registry.timer("t"):
+                raise RuntimeError("boom")
+        assert registry.histograms()["t"].count == 1
+
+    def test_report_mentions_every_instrument(self):
+        registry = MetricsRegistry()
+        registry.counter("requests").inc(3)
+        registry.histogram("latency_s").observe(0.25)
+        report = registry.report()
+        assert "requests" in report
+        assert "3" in report
+        assert "latency_s" in report
+
+    def test_reset_drops_instruments(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc()
+        registry.reset()
+        assert registry.counters() == {}

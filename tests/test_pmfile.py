@@ -7,7 +7,6 @@ import pytest
 from repro.errors import DatasetError
 from repro.mesh.pmfile import load_pm, save_pm
 from repro.mesh.simplify import simplify_to_pm
-from tests.conftest import make_wavy_grid_mesh
 
 
 class TestRoundTrip:

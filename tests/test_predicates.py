@@ -1,6 +1,5 @@
 """Tests for the filtered-exact planar predicates."""
 
-import pytest
 from hypothesis import given, strategies as st
 
 from repro.geometry.predicates import (

@@ -1,7 +1,5 @@
 """Tests for the PM tree structure, LOD normalisation, and cuts."""
 
-import math
-
 import pytest
 from hypothesis import given, settings, strategies as st
 

@@ -6,7 +6,6 @@ in-memory reference and against each other — the highest-level
 invariants in the system.
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.geometry.plane import QueryPlane, RadialLodField

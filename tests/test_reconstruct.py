@@ -1,7 +1,5 @@
 """Tests for mesh reconstruction and Algorithm 1's refinement."""
 
-import pytest
-
 from repro.core.reconstruct import (
     mesh_edges,
     mesh_triangles,

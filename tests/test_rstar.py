@@ -6,7 +6,7 @@ import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.errors import IndexError_
-from repro.geometry.primitives import Box3, Rect
+from repro.geometry.primitives import Box3
 from repro.index.rstar import RStarTree, str_order
 from repro.storage.database import Database
 

@@ -113,8 +113,6 @@ class TestGeometryInvariants:
         This is the invariant the Direct Mesh exactness argument rests
         on, so it gets its own end-to-end check on a small mesh.
         """
-        from repro.geometry.predicates import orient2d
-
         mesh = make_wavy_grid_mesh(side=10, seed=9)
         pm = simplify_to_pm(mesh)
         pm.normalize_lod()

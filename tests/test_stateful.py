@@ -6,14 +6,12 @@ every step — the class of bug (order-dependent corruption) that
 example-based tests rarely reach.
 """
 
-import pytest
 from hypothesis import HealthCheck, settings
 from hypothesis import strategies as st
 from hypothesis.stateful import (
     RuleBasedStateMachine,
     initialize,
     invariant,
-    precondition,
     rule,
 )
 

@@ -1,7 +1,5 @@
 """Tests for wing-based vertex split / collapse (DynamicMesh)."""
 
-import math
-
 import pytest
 
 from repro.errors import MeshError

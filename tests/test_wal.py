@@ -1,7 +1,5 @@
 """Tests for write-ahead logging and crash recovery."""
 
-import os
-
 import pytest
 
 from repro.errors import StorageError
