@@ -6,7 +6,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test test-fast lint ci bench report examples clean
+.PHONY: install test test-fast lint ci stress bench report examples clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -21,6 +21,17 @@ lint:
 	ruff check src tests
 
 ci: lint test
+
+# Robustness gate: the fault-injection and concurrency suites (which
+# run the engine at workers=8), repeated to shake out scheduling-
+# dependent races.  Mirrors the `stress` job in CI.
+STRESS_RUNS ?= 3
+stress:
+	@for i in $$(seq 1 $(STRESS_RUNS)); do \
+		echo "stress run $$i/$(STRESS_RUNS)"; \
+		$(PYTHON) -m pytest tests/test_faults.py tests/test_stress.py \
+			tests/test_engine.py tests/test_metrics.py -q || exit 1; \
+	done
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s

@@ -83,12 +83,20 @@ def measure_viewdep(
 
 @dataclass(frozen=True)
 class ThroughputReport:
-    """One serving measurement: a request batch at a worker count."""
+    """One serving measurement: a request batch at a worker count.
+
+    ``n_ok`` / ``n_errors`` / ``n_degraded`` summarise per-request
+    outcomes under fault injection and deadlines; on a fair-weather
+    run ``n_ok == n_requests``.
+    """
 
     workers: int
     n_requests: int
     wall_s: float
     registry: MetricsRegistry
+    n_ok: int = 0
+    n_errors: int = 0
+    n_degraded: int = 0
 
     @property
     def qps(self) -> float:
@@ -96,6 +104,13 @@ class ThroughputReport:
         if self.wall_s <= 0:
             return 0.0
         return self.n_requests / self.wall_s
+
+    @property
+    def success_rate(self) -> float:
+        """Fraction of requests that produced a result (1.0 if empty)."""
+        if self.n_requests == 0:
+            return 1.0
+        return self.n_ok / self.n_requests
 
 
 def measure_throughput(
@@ -105,11 +120,15 @@ def measure_throughput(
     dedup: str = "exact",
     registry: MetricsRegistry | None = None,
     flush_first: bool = True,
+    retries: int = 2,
+    deadline_s: float | None = None,
 ) -> ThroughputReport:
     """Serve ``requests`` through a :class:`QueryEngine` and time it.
 
     ``flush_first`` starts from a cold buffer (the paper's protocol)
     so runs at different worker counts face identical cache state.
+    ``retries`` and ``deadline_s`` are handed to the engine unchanged
+    (see :class:`~repro.core.engine.QueryEngine`).
     """
     from repro.core.engine import QueryEngine
 
@@ -118,13 +137,28 @@ def measure_throughput(
     if flush_first:
         store.database.flush()
     with QueryEngine(
-        store, workers=workers, dedup=dedup, registry=registry
+        store,
+        workers=workers,
+        dedup=dedup,
+        registry=registry,
+        retries=retries,
+        deadline_s=deadline_s,
     ) as engine:
         started = time.perf_counter()
-        engine.run_batch(requests)
+        outcomes = engine.run_batch(requests)
         wall_s = time.perf_counter() - started
     registry.histogram("bench.batch_s").observe(wall_s)
-    return ThroughputReport(workers, len(requests), wall_s, registry)
+    n_ok = sum(1 for o in outcomes if o.ok)
+    n_degraded = sum(1 for o in outcomes if o.degraded)
+    return ThroughputReport(
+        workers,
+        len(requests),
+        wall_s,
+        registry,
+        n_ok=n_ok,
+        n_errors=len(outcomes) - n_ok,
+        n_degraded=n_degraded,
+    )
 
 
 def average_over(

@@ -185,6 +185,26 @@ def _build_parser() -> argparse.ArgumentParser:
         help="simulated seconds per physical page read (0 = off)",
     )
     serve.add_argument(
+        "--fault-rate",
+        type=float,
+        default=0.0,
+        help="probability of an injected transient error per physical "
+        "page read (exercises the retry path; 0 = off)",
+    )
+    serve.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        help="per-request deadline in milliseconds (uniform requests "
+        "degrade to the base mesh on a miss; default: none)",
+    )
+    serve.add_argument(
+        "--retries",
+        type=int,
+        default=4,
+        help="retry attempts per request for injected transient errors",
+    )
+    serve.add_argument(
         "--metrics",
         action="store_true",
         help="print the full metrics report of the last sweep",
@@ -347,18 +367,48 @@ def _cmd_bench_serve(args) -> int:
             lod = (0.2 + 0.6 * rng.random()) * store.max_lod
             requests.append(UniformRequest(random_roi(), lod))
 
+    # Faults go live only now: the open/workload phases above are
+    # setup, not serving — only the engine's retry path should face
+    # injected errors.
+    injector = None
+    if args.fault_rate > 0.0:
+        from repro.storage.faults import FaultInjector
+
+        injector = FaultInjector(error_rate=args.fault_rate, seed=args.seed)
+        db.set_fault_injector(injector)
+
     print(
         f"bench-serve: {args.requests} {args.mode} requests, "
         f"pool {args.pool_pages} pages, io latency {args.io_latency}s, "
         f"dedup {args.dedup}"
     )
-    print(f"  {'workers':<10}{'wall s':<12}{'queries/s':<12}{'speedup':<10}")
+    if args.fault_rate > 0.0 or args.deadline_ms is not None:
+        deadline = (
+            "none" if args.deadline_ms is None else f"{args.deadline_ms}ms"
+        )
+        print(
+            f"  faults: rate {args.fault_rate}, retries {args.retries}, "
+            f"deadline {deadline}"
+        )
+    print(
+        f"  {'workers':<10}{'wall s':<12}{'queries/s':<12}{'speedup':<10}"
+        f"{'ok':<8}{'err':<8}{'degraded':<10}"
+    )
+    deadline_s = (
+        None if args.deadline_ms is None else args.deadline_ms / 1000.0
+    )
     base_qps = None
     registry = None
     for workers in args.workers:
         registry = MetricsRegistry()
         report = measure_throughput(
-            store, requests, workers, dedup=args.dedup, registry=registry
+            store,
+            requests,
+            workers,
+            dedup=args.dedup,
+            registry=registry,
+            retries=args.retries,
+            deadline_s=deadline_s,
         )
         if base_qps is None:
             base_qps = report.qps
@@ -366,6 +416,12 @@ def _cmd_bench_serve(args) -> int:
         print(
             f"  {workers:<10}{report.wall_s:<12.3f}"
             f"{report.qps:<12.1f}{speedup:<10.2f}"
+            f"{report.n_ok:<8}{report.n_errors:<8}{report.n_degraded:<10}"
+        )
+    if injector is not None:
+        print(
+            f"  injected {injector.errors_injected} faults over "
+            f"{injector.calls} reads"
         )
     if args.metrics and registry is not None:
         print()

@@ -12,9 +12,29 @@ mesh:
    (the ``abl_clustering`` benchmark quantifies the alternative);
 3. each node becomes the vertical segment
    ``<(x, y, e_low), (x, y, e_high)>`` in ``(x, y, e)`` space, indexed
-   by a 3D R*-tree (root intervals are capped at a finite value just
-   above the dataset maximum for indexing; the records keep infinity);
+   by a 3D R*-tree;
 4. a B+-tree maps node id -> RID for point lookups.
+
+``e_cap`` — index vs record semantics
+-------------------------------------
+
+The paper gives root nodes the LOD interval ``[e, inf)``: a root is
+part of *every* approximation coarser than its own error.  An R*-tree
+cannot index an unbounded segment, so the **index** caps root segments
+at ``e_cap = max_lod * 1.05 + 1`` (a finite height just above the
+dataset maximum) while the **records** keep infinity.  The two
+representations answer different questions and must not be mixed:
+
+* interval membership (``record.interval_contains(lod)``) uses the
+  record's real ``[e, inf)`` — correct at any ``lod``;
+* index probes must clamp their query height to ``min(lod, e_cap)``,
+  because a probe above ``e_cap`` is above every indexed segment and
+  returns nothing.
+
+The query processors (:mod:`repro.core.query`) and the engine's
+request planners do the clamp; any new access path must too, or
+queries with ``lod > e_cap`` silently return an empty mesh instead of
+the base mesh.
 
 The store exposes the three query processors of
 :mod:`repro.core.query` as methods.

@@ -14,7 +14,25 @@ viewpoint-dependent single-base (:class:`SingleBaseRequest`) — is
    the GIL, so independent cache misses overlap;
 3. **instrumented**: every executed range query reports R*-tree nodes
    visited, pages read, cache hit-rate and per-stage wall time through
-   a :class:`~repro.obs.metrics.MetricsRegistry`.
+   a :class:`~repro.obs.metrics.MetricsRegistry`;
+4. **fault-isolated**: a request that fails — a storage error, a
+   missed deadline — yields a :class:`QueryOutcome` with its ``error``
+   set instead of an exception; sibling requests in the batch are
+   never poisoned, and a failed *leader* demotes its dedup followers
+   to independent probes rather than cascading.
+
+Robustness knobs (all per-engine):
+
+* ``retries`` — :class:`~repro.errors.TransientIOError` is retried
+  with exponential backoff (``retry_backoff_s * 2**attempt``); any
+  other exception fails the request immediately.
+* ``deadline_s`` — a per-request deadline measured from batch
+  submission.  When it expires before a request has produced a
+  result, a :class:`UniformRequest` is *degraded*: re-run once at the
+  coarsest LOD (the paper's property that any ``e' > e`` is a valid,
+  cheaper approximation makes the base mesh a legitimate answer), and
+  the outcome is flagged ``degraded``.  Non-degradable requests get a
+  :class:`~repro.errors.DeadlineExceededError` outcome.
 
 Results are byte-identical to the sequential query processors in
 :mod:`repro.core.query` (same nodes, same ``retrieved`` count) in the
@@ -24,10 +42,13 @@ fetch.
 
 Usage::
 
-    with QueryEngine(store, workers=4) as engine:
+    with QueryEngine(store, workers=4, retries=3) as engine:
         outcomes = engine.run_batch(
             [UniformRequest(roi, lod) for roi, lod in workload]
         )
+    for outcome in outcomes:
+        if not outcome.ok:
+            log.warning("query failed: %s", outcome.error)
     print(engine.registry.report())
 """
 
@@ -39,7 +60,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterable, Sequence, Union
 
 from repro.core.query import DMQueryResult, filter_to_plane, filter_uniform
-from repro.errors import QueryError
+from repro.errors import DeadlineExceededError, QueryError, TransientIOError
 from repro.geometry.plane import QueryPlane
 from repro.geometry.primitives import Box3, Rect
 from repro.obs.metrics import MetricsRegistry
@@ -68,9 +89,17 @@ class UniformRequest:
     roi: Rect
     lod: float
 
-    def query_box(self) -> Box3:
-        """The degenerate plane box the range query probes."""
-        return Box3.from_rect(self.roi, self.lod, self.lod)
+    def query_box(self, e_cap: float | None = None) -> Box3:
+        """The degenerate plane box the range query probes.
+
+        ``e_cap`` clamps the probe height to the store's indexing cap
+        (root records keep ``[e, inf)`` but their indexed segments top
+        out at ``e_cap``); the per-request filter still uses the real
+        :attr:`lod`, so ``lod > e_cap`` returns the base mesh instead
+        of probing above every indexed segment.
+        """
+        probe_e = self.lod if e_cap is None else min(self.lod, e_cap)
+        return Box3.from_rect(self.roi, probe_e, probe_e)
 
     def filter(self, records: Iterable[DMNodeRecord]) -> dict[int, DMNodeRecord]:
         """Apply the uniform-query predicate to fetched records."""
@@ -83,11 +112,13 @@ class SingleBaseRequest:
 
     plane: QueryPlane
 
-    def query_box(self) -> Box3:
-        """The query cube ``roi x [e_min, e_max]``."""
-        return Box3.from_rect(
-            self.plane.roi, self.plane.e_min, self.plane.e_max
-        )
+    def query_box(self, e_cap: float | None = None) -> Box3:
+        """The query cube ``roi x [e_min, e_max]`` (clamped to
+        ``e_cap`` like :meth:`UniformRequest.query_box`)."""
+        e_min, e_max = self.plane.e_min, self.plane.e_max
+        if e_cap is not None:
+            e_min, e_max = min(e_min, e_cap), min(e_max, e_cap)
+        return Box3.from_rect(self.plane.roi, e_min, e_max)
 
     def filter(self, records: Iterable[DMNodeRecord]) -> dict[int, DMNodeRecord]:
         """Apply the plane predicate to fetched records."""
@@ -118,11 +149,25 @@ class QueryMetrics:
 
 @dataclass
 class QueryOutcome:
-    """One request's result plus its metrics."""
+    """One request's result (or failure) plus its metrics.
+
+    Exactly one of ``result`` / ``error`` is set.  ``degraded`` marks
+    a uniform request answered at a coarser LOD under deadline
+    pressure; ``attempts`` counts execution attempts including
+    retries.
+    """
 
     request: EngineRequest
-    result: DMQueryResult
+    result: DMQueryResult | None
     metrics: QueryMetrics
+    error: Exception | None = None
+    attempts: int = 1
+    degraded: bool = False
+
+    @property
+    def ok(self) -> bool:
+        """True when the request produced a result."""
+        return self.error is None
 
 
 class _NodeTally:
@@ -149,7 +194,7 @@ class _Group:
 
 
 class QueryEngine:
-    """Batched, deduplicating, multi-threaded query execution.
+    """Batched, deduplicating, fault-isolated query execution.
 
     Args:
         store: the Direct Mesh store to serve from.
@@ -162,6 +207,17 @@ class QueryEngine:
             records — identical approximations, shared I/O
             accounting).
         registry: metrics sink; a private one is created if omitted.
+        retries: how many times a request hit by a
+            :class:`~repro.errors.TransientIOError` is re-attempted
+            (0 disables retry; other exceptions never retry).
+        retry_backoff_s: base backoff before the first retry; doubles
+            per attempt.  Backoff never sleeps past the deadline.
+        deadline_s: per-request deadline in seconds, measured from
+            batch submission; ``None`` disables deadlines.
+        degrade: whether uniform requests that miss their deadline are
+            answered at the coarsest LOD (flagged ``degraded``)
+            instead of failing with
+            :class:`~repro.errors.DeadlineExceededError`.
     """
 
     def __init__(
@@ -170,6 +226,10 @@ class QueryEngine:
         workers: int = 4,
         dedup: str = "exact",
         registry: MetricsRegistry | None = None,
+        retries: int = 2,
+        retry_backoff_s: float = 0.002,
+        deadline_s: float | None = None,
+        degrade: bool = True,
     ) -> None:
         if workers < 1:
             raise QueryError(f"workers must be >= 1, got {workers}")
@@ -177,9 +237,23 @@ class QueryEngine:
             raise QueryError(
                 f"dedup must be one of {DEDUP_MODES}, got {dedup!r}"
             )
+        if retries < 0:
+            raise QueryError(f"retries must be >= 0, got {retries}")
+        if retry_backoff_s < 0:
+            raise QueryError(
+                f"retry_backoff_s must be >= 0, got {retry_backoff_s}"
+            )
+        if deadline_s is not None and deadline_s <= 0:
+            raise QueryError(
+                f"deadline_s must be positive or None, got {deadline_s}"
+            )
         self._store = store
         self._workers = workers
         self._dedup = dedup
+        self._retries = retries
+        self._retry_backoff_s = retry_backoff_s
+        self._deadline_s = deadline_s
+        self._degrade = degrade
         self.registry = registry if registry is not None else MetricsRegistry()
         self._pool = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="repro-engine"
@@ -213,6 +287,9 @@ class QueryEngine:
     ) -> list[QueryOutcome]:
         """Execute a batch; outcomes are returned in request order.
 
+        Never raises for a per-request failure: errors surface as
+        :attr:`QueryOutcome.error` on the affected requests only.
+
         Leader groups (one per distinct query box) are submitted to
         the pool first, follower groups after — a follower waiting on
         its leader can therefore never deadlock the pool: by FIFO
@@ -221,17 +298,27 @@ class QueryEngine:
         requests = list(requests)
         if not requests:
             return []
+        deadline = (
+            None
+            if self._deadline_s is None
+            else time.monotonic() + self._deadline_s
+        )
         groups = self._plan(requests)
         leaders = [g for g in groups if g.leader is None]
         followers = [g for g in groups if g.leader is not None]
 
         leader_futures = {
-            id(group): self._pool.submit(self._execute_leader, group)
+            id(group): self._pool.submit(
+                self._execute_with_policy, group, deadline
+            )
             for group in leaders
         }
         follower_futures = [
             self._pool.submit(
-                self._execute_follower, group, leader_futures[id(group.leader)]
+                self._execute_follower,
+                group,
+                leader_futures[id(group.leader)],
+                deadline,
             )
             for group in followers
         ]
@@ -239,7 +326,12 @@ class QueryEngine:
         outcomes: list[QueryOutcome | None] = [None] * len(requests)
         futures = [leader_futures[id(g)] for g in leaders] + follower_futures
         for group, future in zip(leaders + followers, futures):
-            for position, outcome in zip(group.positions, future.result()):
+            try:
+                group_outcomes = future.result()
+            except Exception as exc:  # Last-ditch isolation: a bug in
+                # the task itself must still not poison the batch.
+                group_outcomes = self._error_outcomes(group, exc, 1)
+            for position, outcome in zip(group.positions, group_outcomes):
                 outcomes[position] = outcome
 
         registry = self.registry
@@ -256,23 +348,27 @@ class QueryEngine:
 
     def _plan(self, requests: Sequence[EngineRequest]) -> list[_Group]:
         """Group requests into shared range queries per dedup policy."""
+        e_cap = self._store.e_cap
         groups: list[_Group] = []
         if self._dedup == "off":
             for position, request in enumerate(requests):
                 groups.append(
-                    _Group(request.query_box(), [position], [request])
+                    _Group(request.query_box(e_cap), [position], [request])
                 )
             return groups
 
+        # Key on (box, request type) only: identical query boxes share
+        # one probe even when the requests differ (e.g. two uniform
+        # LODs above e_cap, or two planes with different directions
+        # over the same cube) — the per-request filter in
+        # _filter_group restores exactness.
         by_key: dict[object, _Group] = {}
         for position, request in enumerate(requests):
-            key = request.query_box().as_tuple() + (
-                type(request).__name__,
-                request,
-            )
+            box = request.query_box(e_cap)
+            key = box.as_tuple() + (type(request).__name__,)
             group = by_key.get(key)
             if group is None:
-                group = _Group(request.query_box())
+                group = _Group(box)
                 by_key[key] = group
                 groups.append(group)
             group.positions.append(position)
@@ -298,7 +394,71 @@ class QueryEngine:
 
     # -- stages (run on worker threads) ------------------------------------
 
-    def _execute_leader(self, group: _Group) -> list[QueryOutcome]:
+    def _execute_with_policy(
+        self, group: _Group, deadline: float | None
+    ) -> list[QueryOutcome]:
+        """Run a group under the retry/deadline policy.
+
+        Returns outcomes for every request in the group; never raises.
+        """
+        registry = self.registry
+        attempts = 0
+        while True:
+            attempts += 1
+            if deadline is not None and time.monotonic() >= deadline:
+                return self._deadline_outcomes(group, attempts)
+            try:
+                outcomes = self._execute_group(group)
+            except TransientIOError as exc:
+                if attempts > self._retries:
+                    return self._error_outcomes(group, exc, attempts)
+                registry.counter("engine.retries").inc()
+                delay = self._retry_backoff_s * (2 ** (attempts - 1))
+                if deadline is not None:
+                    delay = min(delay, max(0.0, deadline - time.monotonic()))
+                if delay > 0:
+                    time.sleep(delay)
+                continue
+            except Exception as exc:  # Hard fault: isolate, don't retry.
+                return self._error_outcomes(group, exc, attempts)
+            for outcome in outcomes:
+                outcome.attempts = attempts
+            return outcomes
+
+    def _execute_follower(
+        self, group: _Group, leader_future, deadline: float | None
+    ) -> list[QueryOutcome]:
+        """Filter a subsumed group against its leader's records.
+
+        A failed leader does not cascade: the follower is demoted to
+        an independent probe under the full retry/deadline policy.
+        """
+        leader_outcomes = leader_future.result()
+        records = group.leader.records
+        if records is None or not leader_outcomes[0].ok:
+            self.registry.counter("engine.demotions").inc(
+                len(group.requests)
+            )
+            return self._execute_with_policy(group, deadline)
+        leader_metrics = leader_outcomes[0].metrics
+        started = time.perf_counter()
+        outcomes = self._filter_group(group, records, shared=True)
+        filter_s = time.perf_counter() - started
+        metrics = QueryMetrics(
+            nodes_visited=leader_metrics.nodes_visited,
+            pages_read=leader_metrics.pages_read,
+            logical_reads=leader_metrics.logical_reads,
+            cache_hit_rate=leader_metrics.cache_hit_rate,
+            filter_s=filter_s,
+            total_s=filter_s,
+            shared=True,
+        )
+        for outcome in outcomes:
+            outcome.metrics = metrics
+        self.registry.histogram("engine.filter_s").observe(filter_s)
+        return outcomes
+
+    def _execute_group(self, group: _Group) -> list[QueryOutcome]:
         """Run the group's range query, fetch, and per-request filters."""
         store = self._store
         registry = self.registry
@@ -336,27 +496,73 @@ class QueryEngine:
         )
         return outcomes
 
-    def _execute_follower(self, group: _Group, leader_future) -> list[QueryOutcome]:
-        """Filter a subsumed group against its leader's records."""
-        leader_outcomes = leader_future.result()
-        leader_metrics = leader_outcomes[0].metrics
-        records = group.leader.records
-        assert records is not None
-        started = time.perf_counter()
-        outcomes = self._filter_group(group, records, shared=True)
-        filter_s = time.perf_counter() - started
-        metrics = QueryMetrics(
-            nodes_visited=leader_metrics.nodes_visited,
-            pages_read=leader_metrics.pages_read,
-            logical_reads=leader_metrics.logical_reads,
-            cache_hit_rate=leader_metrics.cache_hit_rate,
-            filter_s=filter_s,
-            total_s=filter_s,
-            shared=True,
+    # -- failure paths -----------------------------------------------------
+
+    def _error_outcomes(
+        self, group: _Group, error: Exception, attempts: int
+    ) -> list[QueryOutcome]:
+        """Per-request errored outcomes for a group that failed."""
+        self.registry.counter("engine.errors").inc(len(group.requests))
+        return [
+            QueryOutcome(
+                request,
+                None,
+                QueryMetrics(),
+                error=error,
+                attempts=attempts,
+            )
+            for request in group.requests
+        ]
+
+    def _deadline_outcomes(
+        self, group: _Group, attempts: int
+    ) -> list[QueryOutcome]:
+        """Handle a group whose deadline expired before it produced a
+        result: degrade uniform requests to the coarsest LOD, fail the
+        rest."""
+        registry = self.registry
+        registry.counter("engine.deadline_misses").inc(len(group.requests))
+        degradable = self._degrade and all(
+            isinstance(request, UniformRequest) for request in group.requests
         )
-        for outcome in outcomes:
-            outcome.metrics = metrics
-        self.registry.histogram("engine.filter_s").observe(filter_s)
+        if degradable:
+            try:
+                outcomes = self._execute_degraded(group)
+            except Exception:
+                degradable = False
+            else:
+                registry.counter("engine.degraded").inc(len(group.requests))
+                for outcome in outcomes:
+                    outcome.attempts = attempts
+                    outcome.degraded = True
+                return outcomes
+        error = DeadlineExceededError(
+            f"deadline of {self._deadline_s}s expired before the request ran"
+        )
+        return self._error_outcomes(group, error, attempts)
+
+    def _execute_degraded(self, group: _Group) -> list[QueryOutcome]:
+        """Answer a uniform group at the coarsest LOD (the base mesh).
+
+        Any ``e' > e`` is a valid, cheaper approximation (paper
+        Section 4), and the base mesh is the cheapest of all — a
+        handful of root records instead of a deep fetch.  No retry:
+        this is the last, best effort under deadline pressure.
+        """
+        store = self._store
+        coarse_lod = store.max_lod
+        # All requests in a group share one query box, hence one ROI.
+        roi = group.requests[0].roi
+        coarse_group = _Group(
+            UniformRequest(roi, coarse_lod).query_box(store.e_cap),
+            list(group.positions),
+            [UniformRequest(request.roi, coarse_lod) for request in group.requests],
+        )
+        outcomes = self._execute_group(coarse_group)
+        # Re-label with the original requests: the caller must see the
+        # request it submitted, served by a coarser approximation.
+        for outcome, request in zip(outcomes, group.requests):
+            outcome.request = request
         return outcomes
 
     @staticmethod
@@ -364,16 +570,21 @@ class QueryEngine:
         group: _Group, records: list[DMNodeRecord], shared: bool
     ) -> list[QueryOutcome]:
         outcomes: list[QueryOutcome] = []
-        first_result: DMQueryResult | None = None
+        # Equal requests in the group share one result object (their
+        # filters agree by construction); distinct requests behind the
+        # same box — e.g. different LODs above e_cap — each run their
+        # own filter, which is what keeps shared probes exact.
+        computed: list[tuple[EngineRequest, DMQueryResult]] = []
         for request in group.requests:
-            if first_result is None:
-                nodes = request.filter(records)
-                first_result = DMQueryResult(
-                    nodes=nodes, retrieved=len(records)
+            result = next(
+                (res for req, res in computed if req == request), None
+            )
+            if result is None:
+                result = DMQueryResult(
+                    nodes=request.filter(records), retrieved=len(records)
                 )
-            # Duplicate requests in the group share the result object
-            # (they are equal, so their filters agree by construction).
+                computed.append((request, result))
             outcomes.append(
-                QueryOutcome(request, first_result, QueryMetrics(shared=shared))
+                QueryOutcome(request, result, QueryMetrics(shared=shared))
             )
         return outcomes

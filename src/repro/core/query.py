@@ -104,10 +104,18 @@ def uniform_query(
 
     Retrieves exactly the vertical segments crossing height ``lod``
     over ``roi`` and filters to the half-open interval semantics.
+
+    The index probe height is clamped to the store's ``e_cap``: root
+    records keep the paper's ``[e, inf)`` interval, but their *indexed*
+    segments are capped at ``e_cap``, so a plane above the cap would
+    sail over every segment and return an empty mesh.  Probing at
+    ``min(lod, e_cap)`` while filtering with the real ``lod`` makes
+    any ``lod > e_cap`` return exactly the base mesh.
     """
     if lod < 0:
         raise QueryError(f"LOD must be non-negative, got {lod}")
-    plane_box = Box3.from_rect(roi, lod, lod)
+    probe_e = min(lod, store.e_cap)
+    plane_box = Box3.from_rect(roi, probe_e, probe_e)
     rids = store.rtree.search(plane_box)
     records = store.read_records(rids)
     nodes = filter_uniform(records, roi, lod)
@@ -121,8 +129,15 @@ def single_base_query(
 
     One query cube ``roi x [e_min, e_max]``; every node whose interval
     contains the plane's required LOD at its own position survives.
+    The cube's LOD extent is clamped to ``e_cap`` like
+    :func:`uniform_query`'s plane (no indexed segment rises above the
+    cap; the plane filter uses the real LOD values).
     """
-    cube = Box3.from_rect(plane.roi, plane.e_min, plane.e_max)
+    cube = Box3.from_rect(
+        plane.roi,
+        min(plane.e_min, store.e_cap),
+        min(plane.e_max, store.e_cap),
+    )
     rids = store.rtree.search(cube)
     records = store.read_records(rids)
     nodes = filter_to_plane(records, plane)
@@ -148,7 +163,11 @@ def multi_base_query(
     merged: dict[int, DMNodeRecord] = {}
     retrieved = 0
     for strip in plan.strips:
-        cube = Box3.from_rect(strip.roi, strip.e_min, strip.e_max)
+        cube = Box3.from_rect(
+            strip.roi,
+            min(strip.e_min, store.e_cap),
+            min(strip.e_max, store.e_cap),
+        )
         rids = store.rtree.search(cube)
         records = store.read_records(rids)
         retrieved += len(records)

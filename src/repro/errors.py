@@ -32,6 +32,16 @@ class StorageError(ReproError):
     """A failure in the page/buffer/heap-file storage substrate."""
 
 
+class TransientIOError(StorageError):
+    """A read failed in a way that is expected to succeed on retry.
+
+    Raised by :class:`repro.storage.faults.FaultInjector` (and usable
+    by any future real device backend for EINTR/EAGAIN-shaped
+    failures).  The serving layer treats this class — and only this
+    class — as retryable.
+    """
+
+
 class PageError(StorageError):
     """A page-level failure (bad page id, overflow, corrupt header)."""
 
@@ -54,6 +64,14 @@ class IndexError_(ReproError):
 
 class QueryError(ReproError):
     """A terrain query was malformed or could not be evaluated."""
+
+
+class DeadlineExceededError(QueryError):
+    """A request's deadline expired before a result could be produced.
+
+    Surfaced as a per-request :attr:`QueryOutcome.error` by the query
+    engine; it never aborts sibling requests in a batch.
+    """
 
 
 class DatasetError(ReproError):

@@ -110,12 +110,9 @@ class Histogram:
         with self._lock:
             return self._count
 
-    def percentile(self, p: float) -> float:
-        """The ``p``-th percentile (0..100) over retained samples."""
-        if not 0 <= p <= 100:
-            raise ValueError(f"percentile must be in [0, 100], got {p}")
-        with self._lock:
-            samples = sorted(self._samples)
+    @staticmethod
+    def _percentile_of(samples: list[float], p: float) -> float:
+        """The ``p``-th percentile of an already-sorted sample list."""
         if not samples:
             return 0.0
         rank = (p / 100.0) * (len(samples) - 1)
@@ -124,15 +121,35 @@ class Histogram:
         frac = rank - lo
         return samples[lo] * (1 - frac) + samples[hi] * frac
 
+    def percentile(self, p: float) -> float:
+        """The ``p``-th percentile (0..100) over retained samples."""
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        with self._lock:
+            samples = sorted(self._samples)
+        return self._percentile_of(samples, p)
+
     def snapshot(self) -> HistogramSnapshot:
-        """An immutable summary (zeroes when empty)."""
+        """An immutable summary (zeroes when empty).
+
+        Count, total, min, max, *and* the percentile samples are all
+        read in one critical section, so a snapshot taken while other
+        threads observe never mixes two states (e.g. a count that
+        includes an observation whose sample the percentiles miss).
+        """
         with self._lock:
             if self._count == 0:
                 return HistogramSnapshot(0, 0.0, 0.0, 0.0, 0.0, 0.0)
             count, total = self._count, self._total
             lo, hi = self._min, self._max
+            samples = sorted(self._samples)
         return HistogramSnapshot(
-            count, total, lo, hi, self.percentile(50), self.percentile(95)
+            count,
+            total,
+            lo,
+            hi,
+            self._percentile_of(samples, 50),
+            self._percentile_of(samples, 95),
         )
 
 

@@ -19,6 +19,7 @@ Layers, bottom up:
 
 from repro.storage.buffer import DEFAULT_POOL_PAGES, BufferPool
 from repro.storage.database import Database, Segment
+from repro.storage.faults import FaultInjector
 from repro.storage.heapfile import HeapFile, pack_rid, unpack_rid
 from repro.storage.page import DEFAULT_PAGE_SIZE, SlottedPage
 from repro.storage.pager import Pager
@@ -43,6 +44,7 @@ __all__ = [
     "DMNodeRecord",
     "Database",
     "DiskStats",
+    "FaultInjector",
     "HeapFile",
     "IOTrace",
     "IOTracer",

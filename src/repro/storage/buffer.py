@@ -71,6 +71,11 @@ class BufferPool:
         # Stripes: serialise *loading* of any one page so concurrent
         # misses on the same page do one disk read, not several.
         self._stripes = [threading.Lock() for _ in range(lock_stripes)]
+        #: Optional :class:`repro.storage.faults.FaultInjector`
+        #: consulted on every :meth:`fetch` — *before* the cache
+        #: lookup, so faults hit warm-cache reads too (the pager's own
+        #: injector only sees misses).
+        self.fault_injector = None
 
     # -- configuration -----------------------------------------------------
 
@@ -98,6 +103,8 @@ class BufferPool:
         :meth:`mark_dirty` for them to survive eviction.
         """
         key = (pager.name, page_no)
+        if self.fault_injector is not None:
+            self.fault_injector.fire("buffer.fetch", f"{pager.name}:{page_no}")
         self._stats.record_logical_read(pager.name)
         with self._latch:
             frame = self._frames.get(key)

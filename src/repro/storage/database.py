@@ -77,6 +77,9 @@ class Database:
         io_latency: simulated per-physical-read device latency in
             seconds (see :attr:`repro.storage.pager.Pager.io_latency`);
             0 disables it.
+        fault_injector: a :class:`~repro.storage.faults.FaultInjector`
+            installed on every segment's physical-read path (see
+            :meth:`set_fault_injector`); ``None`` disables injection.
     """
 
     def __init__(
@@ -86,6 +89,7 @@ class Database:
         page_size: int = DEFAULT_PAGE_SIZE,
         overwrite: bool = False,
         io_latency: float = 0.0,
+        fault_injector=None,
     ) -> None:
         self.path = Path(path)
         if overwrite and self.path.exists():
@@ -95,6 +99,7 @@ class Database:
         self.stats = DiskStats()
         self.buffer = BufferPool(self.stats, pool_pages)
         self._io_latency = io_latency
+        self._fault_injector = fault_injector
         self._pagers: dict[str, Pager] = {}
         self._closed = False
         self._wal = None
@@ -128,6 +133,7 @@ class Database:
             )
             pager.wal = self._wal  # Join any active atomic scope.
             pager.io_latency = self._io_latency
+            pager.fault_injector = self._fault_injector
             self._pagers[name] = pager
         return Segment(pager, self.buffer)
 
@@ -137,6 +143,20 @@ class Database:
         self._io_latency = seconds
         for pager in self._pagers.values():
             pager.io_latency = seconds
+
+    def set_fault_injector(self, injector) -> None:
+        """Install (or with ``None``, remove) a fault injector on every
+        current and future segment's physical-read path.
+
+        Injection happens in :meth:`Pager.read_page`, *below* the
+        buffer pool: warm-cache fetches are unaffected, which is the
+        realistic failure surface (cached pages cannot fail).  To also
+        fault warm reads, set ``database.buffer.fault_injector``
+        directly.
+        """
+        self._fault_injector = injector
+        for pager in self._pagers.values():
+            pager.fault_injector = injector
 
     def has_segment(self, name: str) -> bool:
         """True if the segment file exists on disk."""

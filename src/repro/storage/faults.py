@@ -1,0 +1,136 @@
+"""Deterministic fault injection for the storage substrate.
+
+Production serving must survive the storage layer misbehaving; this
+module makes the misbehaviour *testable*.  A :class:`FaultInjector`
+plugs into :class:`~repro.storage.pager.Pager` (physical reads) and
+:class:`~repro.storage.buffer.BufferPool` (buffer fetches) and, with
+seedable pseudo-randomness, injects
+
+* **transient read errors** — :class:`~repro.errors.TransientIOError`,
+  the retryable failure class the query engine's retry loop is built
+  around; and
+* **latency spikes** — an extra sleep on a fraction of reads,
+  emulating a device hiccup (the sleep releases the GIL, like real
+  I/O).
+
+Determinism: the decision sequence is a pure function of the seed and
+the order of calls, so a single-threaded test replays identically.
+Under a thread pool the per-call decisions are still drawn from one
+seeded stream (guarded by a lock); only their assignment to threads
+varies — aggregate counts stay reproducible in expectation and every
+injected error is counted in :attr:`errors_injected`.
+
+Usage::
+
+    injector = FaultInjector(error_rate=0.05, seed=7)
+    database.set_fault_injector(injector)
+    ...
+    print(injector.errors_injected, "faults over", injector.calls, "reads")
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+
+from repro.errors import StorageError, TransientIOError
+
+__all__ = ["FaultInjector"]
+
+
+class FaultInjector:
+    """Seedable injector of transient storage faults.
+
+    Args:
+        error_rate: probability in ``[0, 1]`` that a read raises
+            :class:`~repro.errors.TransientIOError`.
+        latency_rate: probability in ``[0, 1]`` that a read sleeps for
+            ``latency_s`` before proceeding.
+        latency_s: duration of an injected latency spike in seconds.
+        seed: seeds the private PRNG; equal seeds replay equal
+            decision sequences.
+        max_errors: stop injecting *errors* after this many (latency
+            spikes are unaffected); ``None`` means unbounded.  Useful
+            for scripting "exactly one failure" scenarios.
+    """
+
+    def __init__(
+        self,
+        error_rate: float = 0.0,
+        latency_rate: float = 0.0,
+        latency_s: float = 0.0,
+        seed: int = 0,
+        max_errors: int | None = None,
+    ) -> None:
+        if not 0.0 <= error_rate <= 1.0:
+            raise StorageError(
+                f"error_rate must be in [0, 1], got {error_rate}"
+            )
+        if not 0.0 <= latency_rate <= 1.0:
+            raise StorageError(
+                f"latency_rate must be in [0, 1], got {latency_rate}"
+            )
+        if latency_s < 0.0:
+            raise StorageError(f"latency_s must be >= 0, got {latency_s}")
+        self.error_rate = error_rate
+        self.latency_rate = latency_rate
+        self.latency_s = latency_s
+        self.max_errors = max_errors
+        self._seed = seed
+        self._lock = threading.Lock()
+        self._rng = random.Random(seed)
+        self.calls = 0
+        self.errors_injected = 0
+        self.latencies_injected = 0
+
+    def reset(self, seed: int | None = None) -> None:
+        """Zero the counters and restart the decision stream."""
+        with self._lock:
+            if seed is not None:
+                self._seed = seed
+            self._rng = random.Random(self._seed)
+            self.calls = 0
+            self.errors_injected = 0
+            self.latencies_injected = 0
+
+    def fire(self, site: str, detail: str = "") -> None:
+        """Consult the injector at an instrumented read site.
+
+        Either returns normally (possibly after an injected latency
+        spike) or raises :class:`~repro.errors.TransientIOError`.
+        ``site`` and ``detail`` only flavour the error message.
+        """
+        with self._lock:
+            self.calls += 1
+            fail = (
+                self.error_rate > 0.0
+                and (
+                    self.max_errors is None
+                    or self.errors_injected < self.max_errors
+                )
+                and self._rng.random() < self.error_rate
+            )
+            if fail:
+                self.errors_injected += 1
+            spike = (
+                not fail
+                and self.latency_rate > 0.0
+                and self._rng.random() < self.latency_rate
+            )
+            if spike:
+                self.latencies_injected += 1
+        if fail:
+            raise TransientIOError(
+                f"injected transient fault at {site}"
+                + (f" ({detail})" if detail else "")
+            )
+        if spike and self.latency_s > 0.0:
+            time.sleep(self.latency_s)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FaultInjector(error_rate={self.error_rate}, "
+            f"latency_rate={self.latency_rate}, seed={self._seed}, "
+            f"errors={self.errors_injected}/{self.calls})"
+        )

@@ -63,6 +63,12 @@ class Pager:
         #: so concurrent readers overlap their stalls — exactly what
         #: the buffer pool's lock striping is for.
         self.io_latency = 0.0
+        #: Optional :class:`repro.storage.faults.FaultInjector`; when
+        #: set, every physical read consults it first and may raise
+        #: :class:`~repro.errors.TransientIOError` or stall.  The
+        #: failed read is *not* counted as a physical read — the page
+        #: never arrived, matching how a real device error behaves.
+        self.fault_injector = None
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -110,6 +116,8 @@ class Pager:
         """Read page ``page_no`` from disk (a *physical read*)."""
         self._check_open()
         self._check_range(page_no)
+        if self.fault_injector is not None:
+            self.fault_injector.fire("pager.read", f"{self.name}:{page_no}")
         if self.io_latency > 0.0:
             time.sleep(self.io_latency)
         data = os.pread(self._fd, self.page_size, page_no * self.page_size)

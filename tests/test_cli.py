@@ -140,6 +140,39 @@ class TestBenchServe:
         assert "engine.range_queries" in out
         assert "engine.query_s" in out
 
+    def test_bench_serve_with_fault_injection(self, built_db, capsys):
+        code = main(
+            [
+                "bench-serve",
+                str(built_db),
+                "--requests", "40",
+                "--workers", "4",
+                "--fault-rate", "0.05",
+                "--retries", "6",
+                "--seed", "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "faults: rate 0.05" in out
+        assert "injected" in out
+        # Fault columns present; the sweep completed despite errors.
+        assert "ok" in out and "degraded" in out
+
+    def test_bench_serve_with_deadline(self, built_db, capsys):
+        code = main(
+            [
+                "bench-serve",
+                str(built_db),
+                "--requests", "8",
+                "--workers", "2",
+                "--deadline-ms", "30000",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "deadline 30000.0ms" in out
+
 
 class TestErrors:
     def test_info_on_missing_dir(self, tmp_path, capsys):

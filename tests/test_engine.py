@@ -175,6 +175,46 @@ class TestDedup:
             )
 
 
+class TestECapRegression:
+    """Engine probes above the index cap must return the base mesh
+    (the sequential path is checked in test_query_properties)."""
+
+    @pytest.mark.parametrize("lod_kind", ["max_lod", "e_cap", "above"])
+    def test_engine_matches_sequential_at_cap_heights(
+        self, store, lod_kind
+    ):
+        lod = {
+            "max_lod": store.max_lod,
+            "e_cap": store.e_cap,
+            "above": store.e_cap * 2 + 5.0,
+        }[lod_kind]
+        roi = _extent(store)
+        request = UniformRequest(roi, lod)
+        with QueryEngine(store, workers=2) as engine:
+            outcome = engine.run(request)
+        reference = store.uniform_query(roi, lod)
+        _assert_identical(outcome, reference)
+        assert len(outcome.result.nodes) > 0
+
+    def test_same_box_different_lod_share_one_probe(self, store):
+        """Two uniform requests above e_cap clamp to the same query
+        box; the exact-dedup key is (box, type), so they share one
+        range query while each keeps its own filter."""
+        roi = _extent(store)
+        first = UniformRequest(roi, store.e_cap + 1.0)
+        second = UniformRequest(roi, store.e_cap + 2.0)
+        registry = MetricsRegistry()
+        with QueryEngine(store, workers=2, registry=registry) as engine:
+            outcomes = engine.run_batch([first, second])
+        counters = registry.counters()
+        assert counters["engine.range_queries"] == 1
+        assert counters["engine.dedup_shared"] == 1
+        for request, outcome in zip((first, second), outcomes):
+            reference = store.uniform_query(request.roi, request.lod)
+            _assert_identical(outcome, reference)
+            assert len(outcome.result.nodes) > 0
+
+
 class TestMetrics:
     def test_per_query_metrics_populated(self, store):
         request = UniformRequest(_extent(store), 0.5 * store.max_lod)

@@ -86,6 +86,38 @@ class TestHistogram:
             t.join()
         assert hist.count == n_threads * per_thread
 
+    def test_snapshot_is_internally_consistent_under_writers(self):
+        """snapshot() must read aggregates and percentile samples in
+        one critical section: a snapshot taken mid-update may lag, but
+        it can never mix states (count without its sample, a p95
+        outside [min, max], a mean outside the observed range)."""
+        hist = Histogram()
+        stop = threading.Event()
+
+        def writer(base: float) -> None:
+            value = base
+            while not stop.is_set():
+                hist.observe(value)
+                value += 1.0
+
+        threads = [
+            threading.Thread(target=writer, args=(float(i * 1000),))
+            for i in range(4)
+        ]
+        for t in threads:
+            t.start()
+        try:
+            for _ in range(300):
+                snap = hist.snapshot()
+                if snap.count == 0:
+                    continue
+                assert snap.min <= snap.p50 <= snap.p95 <= snap.max
+                assert snap.min <= snap.mean <= snap.max
+        finally:
+            stop.set()
+            for t in threads:
+                t.join()
+
 
 class TestRegistry:
     def test_instruments_are_shared_by_name(self):

@@ -10,6 +10,7 @@ from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.geometry.plane import QueryPlane, RadialLodField
 from repro.geometry.primitives import Rect
+from repro.mesh.progressive import NULL_ID
 from repro.mesh.selective import uniform_query_ref, viewdep_query_ref
 
 common = settings(
@@ -113,3 +114,58 @@ class TestViewdepProperties:
         sb = store.single_base_query(field)
         mb = store.multi_base_query(field)
         assert set(sb.nodes) == set(mb.nodes)
+
+
+class TestECapRegression:
+    """Probes above the index cap must return the base mesh.
+
+    Root records keep the paper's ``[e, inf)`` interval but their
+    indexed segments stop at ``e_cap``; before the clamp fix, any
+    ``lod > e_cap`` probed above every indexed segment and returned an
+    empty mesh.  The in-memory traversal is the ground truth at every
+    height.
+    """
+
+    def _check(self, session_db, hills_dataset, lod):
+        ds = hills_dataset
+        roi = ds.bounds()
+        result = session_db["dm"].uniform_query(roi, lod)
+        reference = uniform_query_ref(ds.pm, roi, lod)
+        assert set(result.nodes) == reference
+        assert len(result.nodes) > 0
+
+    def test_at_max_lod(self, session_db, hills_dataset):
+        self._check(
+            session_db, hills_dataset, hills_dataset.pm.max_lod()
+        )
+
+    def test_at_e_cap(self, session_db, hills_dataset):
+        self._check(session_db, hills_dataset, session_db["dm"].e_cap)
+
+    def test_above_e_cap(self, session_db, hills_dataset):
+        dm = session_db["dm"]
+        self._check(session_db, hills_dataset, dm.e_cap * 3 + 17.0)
+
+    def test_above_cap_is_exactly_the_base_mesh(
+        self, session_db, hills_dataset
+    ):
+        dm = session_db["dm"]
+        roi = hills_dataset.bounds()
+        above = dm.uniform_query(roi, dm.e_cap + 1.0)
+        base = {
+            node.id
+            for node in hills_dataset.pm.nodes
+            if node.parent == NULL_ID
+            and roi.contains_point(node.x, node.y)
+        }
+        assert set(above.nodes) == base
+
+    def test_viewdep_cube_above_cap(self, session_db, hills_dataset):
+        dm = session_db["dm"]
+        roi = hills_dataset.bounds()
+        plane = QueryPlane(roi, dm.e_cap + 1.0, dm.e_cap + 10.0)
+        result = dm.single_base_query(plane)
+        assert set(result.nodes) == viewdep_query_ref(
+            hills_dataset.pm, plane
+        )
+        assert len(result.nodes) > 0

@@ -1,0 +1,216 @@
+"""Concurrency stress tests for the storage and serving layers.
+
+These are the tests `make stress` repeats: threads hammering a small
+buffer pool while it is flushed and resized underneath them,
+per-thread statistics attribution under real contention, and the
+engine at ``workers=8`` with fault injection active.  They assert
+invariants (no exception, no lost or cross-attributed counts, correct
+page contents), not timings.
+"""
+
+import random
+import threading
+
+import pytest
+
+from repro.core import DirectMeshStore, QueryEngine
+from repro.core.engine import UniformRequest
+from repro.geometry.primitives import Rect
+from repro.storage import Database, DiskStats, FaultInjector, Pager
+from repro.storage.buffer import BufferPool
+from repro.terrain import dataset_by_name
+
+STRESS_WORKERS = 8
+
+
+class TestBufferPoolRaces:
+    N_PAGES = 32
+    PAGE_SIZE = 512
+
+    @pytest.fixture
+    def pager(self, tmp_path):
+        stats = DiskStats()
+        pager = Pager(
+            tmp_path / "seg.dat", stats, name="seg",
+            page_size=self.PAGE_SIZE,
+        )
+        for i in range(self.N_PAGES):
+            page_no = pager.allocate()
+            pager.write_page(
+                page_no, bytes([i % 256]) * self.PAGE_SIZE
+            )
+        yield pager
+        pager.close()
+
+    def test_fetch_races_flush_and_resize(self, pager):
+        """Reader threads hammer a tiny pool while the main thread
+        flushes and resizes it; every fetch must return the right
+        page bytes and nothing may raise."""
+        pool = BufferPool(pager._stats, capacity=4)
+        stop = threading.Event()
+        failures: list[str] = []
+
+        def reader(seed: int) -> None:
+            rng = random.Random(seed)
+            while not stop.is_set():
+                page_no = rng.randrange(self.N_PAGES)
+                data = pool.fetch(pager, page_no)
+                if data[0] != page_no % 256:
+                    failures.append(
+                        f"page {page_no} returned byte {data[0]}"
+                    )
+                    return
+
+        threads = [
+            threading.Thread(target=reader, args=(seed,))
+            for seed in range(STRESS_WORKERS)
+        ]
+        for thread in threads:
+            thread.start()
+        try:
+            for i in range(200):
+                if i % 3 == 0:
+                    pool.flush()
+                else:
+                    pool.resize(2 + (i % 7))
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join()
+        assert not failures
+        assert pool.resident_pages() <= pool.capacity
+
+    def test_concurrent_misses_single_physical_read(self, pager):
+        """Many threads missing on the same cold page perform one
+        physical read between them (stripe de-duplication)."""
+        stats = pager._stats
+        pool = BufferPool(stats, capacity=self.N_PAGES)
+        stats.reset()
+        barrier = threading.Barrier(STRESS_WORKERS)
+
+        def fetch_same() -> None:
+            barrier.wait()
+            pool.fetch(pager, 7)
+
+        threads = [
+            threading.Thread(target=fetch_same)
+            for _ in range(STRESS_WORKERS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert stats.physical_reads == 1
+        assert stats.logical_reads == STRESS_WORKERS
+
+
+class TestStatsAttribution:
+    def test_probes_see_only_their_thread(self):
+        """Per-thread attribute() scopes racing on one DiskStats: each
+        probe must count exactly its own traffic, and the global
+        counters the sum."""
+        stats = DiskStats()
+        results: dict[int, tuple[int, int]] = {}
+        barrier = threading.Barrier(STRESS_WORKERS)
+
+        def worker(ident: int) -> None:
+            barrier.wait()
+            expected = 100 + ident
+            with stats.attribute() as probe:
+                for _ in range(expected):
+                    stats.record_logical_read(f"seg{ident % 3}")
+                stats.record_physical_read(f"seg{ident % 3}", ident)
+            results[ident] = (probe.logical_reads, probe.physical_reads)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,))
+            for i in range(STRESS_WORKERS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        for ident, (logical, physical) in results.items():
+            assert logical == 100 + ident
+            assert physical == ident
+        assert stats.logical_reads == sum(
+            100 + i for i in range(STRESS_WORKERS)
+        )
+        assert stats.physical_reads == sum(range(STRESS_WORKERS))
+
+    def test_attribution_under_engine_worker_pool(self, tmp_path):
+        """The engine's per-query probes, summed, equal the global
+        delta even with 8 workers sharing one pool."""
+        dataset = dataset_by_name("foothills", 1200, seed=23)
+        with Database(tmp_path / "db", pool_pages=64) as db:
+            store = DirectMeshStore.build(dataset.pm, db, dataset.connections)
+            extent = store.rtree.data_space.rect
+            rng = random.Random(31)
+            side = 0.25 * min(extent.width, extent.height)
+            requests = []
+            for _ in range(24):
+                x0 = extent.min_x + rng.random() * (extent.width - side)
+                y0 = extent.min_y + rng.random() * (extent.height - side)
+                requests.append(
+                    UniformRequest(
+                        Rect(x0, y0, x0 + side, y0 + side),
+                        rng.random() * store.max_lod,
+                    )
+                )
+            db.flush()
+            before = db.stats.snapshot()
+            with QueryEngine(
+                store, workers=STRESS_WORKERS, dedup="off"
+            ) as engine:
+                outcomes = engine.run_batch(requests)
+            delta = db.stats.snapshot().delta(before)
+            assert all(o.ok for o in outcomes)
+            assert delta.logical_reads == sum(
+                o.metrics.logical_reads for o in outcomes
+            )
+            assert delta.physical_reads == sum(
+                o.metrics.pages_read for o in outcomes
+            )
+
+
+class TestEngineUnderFaults:
+    def test_eight_workers_with_faults_and_deadlines(self, tmp_path):
+        """Everything at once: 8 workers, fault injection, retries and
+        deadlines on — the batch completes, outcomes partition into
+        ok / degraded / errored, and no exception escapes."""
+        dataset = dataset_by_name("foothills", 1200, seed=23)
+        with Database(tmp_path / "db", pool_pages=64) as db:
+            store = DirectMeshStore.build(dataset.pm, db, dataset.connections)
+            db.set_fault_injector(
+                FaultInjector(
+                    error_rate=0.05, latency_rate=0.1,
+                    latency_s=0.0005, seed=77,
+                )
+            )
+            extent = store.rtree.data_space.rect
+            rng = random.Random(37)
+            side = 0.2 * min(extent.width, extent.height)
+            requests = []
+            for _ in range(60):
+                x0 = extent.min_x + rng.random() * (extent.width - side)
+                y0 = extent.min_y + rng.random() * (extent.height - side)
+                requests.append(
+                    UniformRequest(
+                        Rect(x0, y0, x0 + side, y0 + side),
+                        rng.random() * store.max_lod,
+                    )
+                )
+            db.flush()
+            with QueryEngine(
+                store,
+                workers=STRESS_WORKERS,
+                retries=6,
+                deadline_s=30.0,
+            ) as engine:
+                outcomes = engine.run_batch(requests)
+            db.set_fault_injector(None)
+            assert len(outcomes) == len(requests)
+            for outcome in outcomes:
+                assert (outcome.result is None) == (outcome.error is not None)
+            ok = sum(o.ok for o in outcomes)
+            assert ok >= len(requests) * 0.9
