@@ -6,7 +6,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test test-fast lint ci stress bench report examples clean
+.PHONY: install test test-fast lint ci stress perf-smoke bench report examples clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -18,7 +18,7 @@ test-fast:
 	$(PYTHON) -m pytest tests/ -m "not slow"
 
 lint:
-	ruff check src tests
+	ruff check src tests benchmarks
 
 ci: lint test
 
@@ -32,6 +32,13 @@ stress:
 		$(PYTHON) -m pytest tests/test_faults.py tests/test_stress.py \
 			tests/test_engine.py tests/test_metrics.py -q || exit 1; \
 	done
+
+# Performance gate: the semantic-cache / vectorized-kernel benchmark
+# with its built-in guards (cached qps >= REPRO_CACHE_GUARD x uncached,
+# vectorized filters >= REPRO_VEC_GUARD x scalar).  Mirrors the
+# `perf-smoke` job in CI, which relaxes the guards for shared runners.
+perf-smoke:
+	$(PYTHON) -m pytest benchmarks/test_semantic_cache.py --benchmark-only -q
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s

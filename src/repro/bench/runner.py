@@ -87,7 +87,9 @@ class ThroughputReport:
 
     ``n_ok`` / ``n_errors`` / ``n_degraded`` summarise per-request
     outcomes under fault injection and deadlines; on a fair-weather
-    run ``n_ok == n_requests``.
+    run ``n_ok == n_requests``.  ``n_cache_hits`` /
+    ``n_cache_misses`` count semantic-cache activity during the
+    measurement (both zero when no cache was attached).
     """
 
     workers: int
@@ -97,6 +99,8 @@ class ThroughputReport:
     n_ok: int = 0
     n_errors: int = 0
     n_degraded: int = 0
+    n_cache_hits: int = 0
+    n_cache_misses: int = 0
 
     @property
     def qps(self) -> float:
@@ -112,6 +116,14 @@ class ThroughputReport:
             return 1.0
         return self.n_ok / self.n_requests
 
+    @property
+    def cache_hit_rate(self) -> float:
+        """Cache hits per lookup during the run (0.0 without a cache)."""
+        lookups = self.n_cache_hits + self.n_cache_misses
+        if lookups == 0:
+            return 0.0
+        return self.n_cache_hits / lookups
+
 
 def measure_throughput(
     store: "DirectMeshStore",
@@ -122,20 +134,32 @@ def measure_throughput(
     flush_first: bool = True,
     retries: int = 2,
     deadline_s: float | None = None,
+    cache=None,
+    vectorized: bool = True,
+    repeat: int = 1,
 ) -> ThroughputReport:
     """Serve ``requests`` through a :class:`QueryEngine` and time it.
 
     ``flush_first`` starts from a cold buffer (the paper's protocol)
     so runs at different worker counts face identical cache state.
     ``retries`` and ``deadline_s`` are handed to the engine unchanged
-    (see :class:`~repro.core.engine.QueryEngine`).
+    (see :class:`~repro.core.engine.QueryEngine`), as are ``cache``
+    (a :class:`~repro.core.cache.SemanticCache`) and ``vectorized``.
+    ``repeat`` replays the batch that many times inside the timing
+    window — the repeated/overlapping workload a warm semantic cache
+    is built for; the report counts every replayed request.
     """
     from repro.core.engine import QueryEngine
 
+    if repeat < 1:
+        raise ValueError(f"repeat must be >= 1, got {repeat}")
     if registry is None:
         registry = MetricsRegistry()
     if flush_first:
         store.database.flush()
+    hits_before = registry.counter("cache.hits").value
+    misses_before = registry.counter("cache.misses").value
+    outcomes = []
     with QueryEngine(
         store,
         workers=workers,
@@ -143,21 +167,28 @@ def measure_throughput(
         registry=registry,
         retries=retries,
         deadline_s=deadline_s,
+        cache=cache,
+        vectorized=vectorized,
     ) as engine:
         started = time.perf_counter()
-        outcomes = engine.run_batch(requests)
+        for _ in range(repeat):
+            outcomes.extend(engine.run_batch(requests))
         wall_s = time.perf_counter() - started
     registry.histogram("bench.batch_s").observe(wall_s)
     n_ok = sum(1 for o in outcomes if o.ok)
     n_degraded = sum(1 for o in outcomes if o.degraded)
     return ThroughputReport(
         workers,
-        len(requests),
+        len(outcomes),
         wall_s,
         registry,
         n_ok=n_ok,
         n_errors=len(outcomes) - n_ok,
         n_degraded=n_degraded,
+        n_cache_hits=registry.counter("cache.hits").value - hits_before,
+        n_cache_misses=(
+            registry.counter("cache.misses").value - misses_before
+        ),
     )
 
 

@@ -205,6 +205,34 @@ def _build_parser() -> argparse.ArgumentParser:
         help="retry attempts per request for injected transient errors",
     )
     serve.add_argument(
+        "--cache-mb",
+        type=float,
+        default=0.0,
+        help="semantic result cache budget in MiB (0 = cache off); "
+        "cached cubes answer subsumed queries with no index/disk I/O",
+    )
+    serve.add_argument(
+        "--prefetch-e",
+        type=float,
+        default=0.0,
+        help="prefetch inflation along the LOD axis (absolute units): "
+        "cache misses probe a cube taller by this much each way so "
+        "nearby LODs hit next time",
+    )
+    serve.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        help="replay the batch this many times per sweep (a repeated "
+        "workload is what warms the semantic cache)",
+    )
+    serve.add_argument(
+        "--no-vectorized",
+        action="store_true",
+        help="use the scalar per-record filter path instead of the "
+        "columnar numpy kernels (A/B comparison)",
+    )
+    serve.add_argument(
         "--metrics",
         action="store_true",
         help="print the full metrics report of the last sweep",
@@ -378,10 +406,15 @@ def _cmd_bench_serve(args) -> int:
         db.set_fault_injector(injector)
 
     print(
-        f"bench-serve: {args.requests} {args.mode} requests, "
-        f"pool {args.pool_pages} pages, io latency {args.io_latency}s, "
-        f"dedup {args.dedup}"
+        f"bench-serve: {args.requests} {args.mode} requests "
+        f"x{args.repeat}, pool {args.pool_pages} pages, "
+        f"io latency {args.io_latency}s, dedup {args.dedup}"
     )
+    if args.cache_mb > 0.0:
+        print(
+            f"  semantic cache: {args.cache_mb} MiB, "
+            f"prefetch-e {args.prefetch_e}"
+        )
     if args.fault_rate > 0.0 or args.deadline_ms is not None:
         deadline = (
             "none" if args.deadline_ms is None else f"{args.deadline_ms}ms"
@@ -392,7 +425,7 @@ def _cmd_bench_serve(args) -> int:
         )
     print(
         f"  {'workers':<10}{'wall s':<12}{'queries/s':<12}{'speedup':<10}"
-        f"{'ok':<8}{'err':<8}{'degraded':<10}"
+        f"{'ok':<8}{'err':<8}{'degraded':<10}{'hit%':<8}"
     )
     deadline_s = (
         None if args.deadline_ms is None else args.deadline_ms / 1000.0
@@ -401,6 +434,16 @@ def _cmd_bench_serve(args) -> int:
     registry = None
     for workers in args.workers:
         registry = MetricsRegistry()
+        # A fresh cache per sweep: every worker count faces the same
+        # cold-cache state, so rows stay comparable.
+        cache = None
+        if args.cache_mb > 0.0:
+            from repro.core.cache import SemanticCache
+
+            cache = SemanticCache(
+                int(args.cache_mb * 1024 * 1024),
+                prefetch_e=args.prefetch_e,
+            )
         report = measure_throughput(
             store,
             requests,
@@ -409,6 +452,9 @@ def _cmd_bench_serve(args) -> int:
             registry=registry,
             retries=args.retries,
             deadline_s=deadline_s,
+            cache=cache,
+            vectorized=not args.no_vectorized,
+            repeat=args.repeat,
         )
         if base_qps is None:
             base_qps = report.qps
@@ -417,6 +463,7 @@ def _cmd_bench_serve(args) -> int:
             f"  {workers:<10}{report.wall_s:<12.3f}"
             f"{report.qps:<12.1f}{speedup:<10.2f}"
             f"{report.n_ok:<8}{report.n_errors:<8}{report.n_degraded:<10}"
+            f"{100.0 * report.cache_hit_rate:<8.1f}"
         )
     if injector is not None:
         print(

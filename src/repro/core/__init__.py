@@ -13,9 +13,12 @@ Public surface:
 * :mod:`repro.core.reconstruct` -- Algorithm 1's refinement steps and
   triangle extraction;
 * :class:`~repro.core.engine.QueryEngine` -- concurrent batched query
-  execution with per-query metrics (the serving path).
+  execution with per-query metrics (the serving path);
+* :class:`~repro.core.cache.SemanticCache` -- interval-aware result
+  cache answering subsumed queries with zero index/disk I/O.
 """
 
+from repro.core.cache import CacheStats, SemanticCache
 from repro.core.connectivity import (
     build_connection_lists,
     connection_statistics,
@@ -48,8 +51,10 @@ from repro.core.streaming import SessionDelta, TerrainSession
 from repro.core.verify_store import StoreReport, verify_store
 
 __all__ = [
+    "CacheStats",
     "DMBuildReport",
     "DMQueryResult",
+    "SemanticCache",
     "DirectMeshStore",
     "MultiBasePlan",
     "QueryEngine",

@@ -1,0 +1,229 @@
+"""Interval-aware semantic result cache for Direct Mesh queries.
+
+The paper's LOD-interval encoding makes a terrain approximation a pure
+*set filter* over a 3D range query (Sections 4-5).  That gives cached
+results unusually strong semantics: a cube of records fetched for
+``roi x [e_lo, e_hi]`` contains **every** record any subsumed query
+needs — any record whose vertical segment intersects a box contained
+in the cube also intersects the cube — so re-running the (cheap,
+vectorized) per-request filter over the cached cube reproduces the
+exact answer of a fresh index probe, with zero index or disk I/O.
+
+:class:`SemanticCache` is a byte-budgeted LRU of such cubes, keyed by
+``(roi, e_lo, e_hi)`` (a :class:`~repro.geometry.primitives.Box3`):
+
+* **exact hits** — the same query box again — are one dict lookup;
+* **subsume hits** scan for any resident cube that contains the query
+  box (uniform planes, single-base cubes and multi-base strips all
+  qualify against the same cubes);
+* **prefetch inflation** (:meth:`inflate`) probes a slightly taller
+  cube than asked, so nearby LODs over the same ROI hit next time —
+  the cube's extra records are filtered away per request, never seen
+  by callers;
+* **invalidation** (:meth:`invalidate`) empties the cache; call it
+  whenever the underlying store is rebuilt — cached cubes describe a
+  snapshot of the store, not the store itself.
+
+Entries hold :class:`~repro.storage.record.DMNodeColumns` pages
+(struct-of-arrays), so a hit flows straight into the vectorized
+filters without touching per-record objects.  All operations are
+thread-safe; the query engine's workers insert concurrently.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.errors import QueryError
+from repro.geometry.primitives import Box3
+from repro.storage.record import DMNodeColumns
+
+__all__ = ["SemanticCache", "CacheStats"]
+
+#: Fixed per-entry overhead charged against the byte budget (key,
+#: OrderedDict node, entry object) so many tiny cubes cannot dodge
+#: eviction.
+ENTRY_OVERHEAD_BYTES = 512
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """A consistent snapshot of the cache's lifetime counters."""
+
+    hits: int
+    misses: int
+    subsume_hits: int
+    insertions: int
+    evictions: int
+    invalidations: int
+    bytes: int
+    entries: int
+
+    @property
+    def lookups(self) -> int:
+        """Total lookups served."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits per lookup (0.0 when idle)."""
+        if self.lookups == 0:
+            return 0.0
+        return self.hits / self.lookups
+
+
+class _Entry:
+    __slots__ = ("box", "columns", "nbytes")
+
+    def __init__(self, box: Box3, columns: DMNodeColumns) -> None:
+        self.box = box
+        self.columns = columns
+        self.nbytes = columns.nbytes + ENTRY_OVERHEAD_BYTES
+
+
+class SemanticCache:
+    """Byte-budgeted LRU of query cubes with subsumption lookup.
+
+    Args:
+        max_bytes: resident-set budget; entries are evicted LRU-first
+            when an insert would exceed it.  An entry larger than the
+            whole budget is never admitted.
+        prefetch_e: how far :meth:`inflate` grows a probe cube along
+            the LOD axis in each direction (0 disables prefetch).
+    """
+
+    def __init__(self, max_bytes: int, prefetch_e: float = 0.0) -> None:
+        if max_bytes <= 0:
+            raise QueryError(f"max_bytes must be positive, got {max_bytes}")
+        if prefetch_e < 0:
+            raise QueryError(
+                f"prefetch_e must be non-negative, got {prefetch_e}"
+            )
+        self.max_bytes = max_bytes
+        self.prefetch_e = prefetch_e
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[tuple, _Entry] = OrderedDict()
+        self._bytes = 0
+        self._hits = 0
+        self._misses = 0
+        self._subsume_hits = 0
+        self._insertions = 0
+        self._evictions = 0
+        self._invalidations = 0
+
+    # -- introspection -----------------------------------------------------
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def bytes(self) -> int:
+        """Resident bytes (payload plus per-entry overhead)."""
+        with self._lock:
+            return self._bytes
+
+    def stats(self) -> CacheStats:
+        """Lifetime counters, read in one critical section."""
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                subsume_hits=self._subsume_hits,
+                insertions=self._insertions,
+                evictions=self._evictions,
+                invalidations=self._invalidations,
+                bytes=self._bytes,
+                entries=len(self._entries),
+            )
+
+    # -- the cache protocol ------------------------------------------------
+
+    def inflate(self, box: Box3, e_cap: float) -> Box3:
+        """The probe cube to fetch for a miss on ``box``.
+
+        Grows the LOD extent by ``prefetch_e`` both ways, clamped to
+        ``[0, e_cap]`` (nothing is indexed outside that band, so a
+        taller probe would only re-fetch air).  With ``prefetch_e=0``
+        the box is returned unchanged.
+        """
+        if self.prefetch_e == 0.0:
+            return box
+        min_e = max(0.0, box.min_e - self.prefetch_e)
+        max_e = max(min_e, min(e_cap, box.max_e + self.prefetch_e))
+        if min_e == box.min_e and max_e == box.max_e:
+            return box
+        return Box3(box.min_x, box.min_y, min_e, box.max_x, box.max_y, max_e)
+
+    def lookup(self, box: Box3) -> DMNodeColumns | None:
+        """A cached cube that answers ``box``, or ``None``.
+
+        Exact-key match first (one dict probe), then a subsumption
+        scan for any resident cube containing ``box``.  The serving
+        entry is marked most-recently-used.
+        """
+        key = box.as_tuple()
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                for candidate in reversed(self._entries.values()):
+                    if candidate.box.contains_box(box):
+                        entry = candidate
+                        self._subsume_hits += 1
+                        break
+            if entry is None:
+                self._misses += 1
+                return None
+            self._hits += 1
+            self._entries.move_to_end(entry.box.as_tuple())
+            return entry.columns
+
+    def insert(self, box: Box3, columns: DMNodeColumns) -> bool:
+        """Admit the cube ``box`` with its fetched ``columns``.
+
+        Entries subsumed by ``box`` are dropped (the new cube answers
+        everything they could); an entry already subsuming ``box``
+        makes the insert a no-op.  Returns True when admitted.
+        """
+        entry = _Entry(box, columns)
+        if entry.nbytes > self.max_bytes:
+            return False
+        with self._lock:
+            for candidate in self._entries.values():
+                if candidate.box.contains_box(box):
+                    return False
+            doomed = [
+                key
+                for key, candidate in self._entries.items()
+                if box.contains_box(candidate.box)
+            ]
+            for key in doomed:
+                self._drop(key)
+            self._entries[box.as_tuple()] = entry
+            self._bytes += entry.nbytes
+            self._insertions += 1
+            while self._bytes > self.max_bytes:
+                oldest = next(iter(self._entries))
+                self._drop(oldest)
+                self._evictions += 1
+            return True
+
+    def invalidate(self) -> None:
+        """Empty the cache (required after a store rebuild).
+
+        Cached cubes are snapshots of the store they were fetched
+        from; once the store's records change they can silently serve
+        stale approximations, so rebuild paths must call this.
+        """
+        with self._lock:
+            self._entries.clear()
+            self._bytes = 0
+            self._invalidations += 1
+
+    # -- internals ---------------------------------------------------------
+
+    def _drop(self, key: tuple) -> None:
+        entry = self._entries.pop(key)
+        self._bytes -= entry.nbytes

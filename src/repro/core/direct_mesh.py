@@ -61,7 +61,13 @@ from repro.index.rstar import RStarTree, str_order
 from repro.mesh.progressive import LOD_INFINITY, ProgressiveMesh
 from repro.storage.database import Database
 from repro.storage.heapfile import HeapFile
-from repro.storage.record import DMNodeRecord, decode_dm_node, encode_dm_node
+from repro.storage.record import (
+    DMNodeColumns,
+    DMNodeRecord,
+    decode_dm_node,
+    decode_dm_nodes_columnar,
+    encode_dm_node,
+)
 
 __all__ = ["DirectMeshStore", "DMBuildReport"]
 
@@ -225,6 +231,15 @@ class DirectMeshStore:
     def read_records(self, rids: list[int]) -> list[DMNodeRecord]:
         """Fetch and decode records, page-ordered to minimise I/O."""
         return [decode_dm_node(p) for p in self.heap.read_many(rids)]
+
+    def read_records_columnar(self, rids: list[int]) -> DMNodeColumns:
+        """Fetch records into a columnar page (struct-of-arrays).
+
+        Same I/O as :meth:`read_records`; the decode happens in one
+        batched pass and the result feeds the vectorized filters and
+        the semantic cache instead of per-record objects.
+        """
+        return decode_dm_nodes_columnar(self.heap.read_many(rids))
 
     def get_node(self, node_id: int) -> DMNodeRecord | None:
         """Point lookup through the id B+-tree."""

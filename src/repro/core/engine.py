@@ -5,6 +5,11 @@ this module turns that property into a *serving* path.  A batch of
 terrain queries — viewpoint-independent (:class:`UniformRequest`) or
 viewpoint-dependent single-base (:class:`SingleBaseRequest`) — is
 
+0. **cache-checked**: with a
+   :class:`~repro.core.cache.SemanticCache` attached, any request
+   whose query box is contained in a cached cube is answered inline
+   by one vectorized filter — no index probe, no record fetch — and
+   executed range queries feed their cubes back into the cache;
 1. **deduplicated**: requests whose query boxes coincide share one
    index probe and record fetch; in ``"subsume"`` mode a request whose
    box is contained in another's reuses the superset's records and
@@ -59,12 +64,19 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterable, Sequence, Union
 
-from repro.core.query import DMQueryResult, filter_to_plane, filter_uniform
+from repro.core.cache import SemanticCache
+from repro.core.query import (
+    DMQueryResult,
+    filter_to_plane,
+    filter_to_plane_columnar,
+    filter_uniform,
+    filter_uniform_columnar,
+)
 from repro.errors import DeadlineExceededError, QueryError, TransientIOError
 from repro.geometry.plane import QueryPlane
 from repro.geometry.primitives import Box3, Rect
 from repro.obs.metrics import MetricsRegistry
-from repro.storage.record import DMNodeRecord
+from repro.storage.record import DMNodeColumns, DMNodeRecord
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.direct_mesh import DirectMeshStore
@@ -101,8 +113,17 @@ class UniformRequest:
         probe_e = self.lod if e_cap is None else min(self.lod, e_cap)
         return Box3.from_rect(self.roi, probe_e, probe_e)
 
-    def filter(self, records: Iterable[DMNodeRecord]) -> dict[int, DMNodeRecord]:
-        """Apply the uniform-query predicate to fetched records."""
+    def filter(
+        self, records: "Iterable[DMNodeRecord] | DMNodeColumns"
+    ) -> dict[int, DMNodeRecord]:
+        """Apply the uniform-query predicate to fetched records.
+
+        Accepts either decoded record objects or a columnar page; the
+        two paths are node-id-identical (the property tests hold the
+        vectorized kernel to the scalar oracle).
+        """
+        if isinstance(records, DMNodeColumns):
+            return filter_uniform_columnar(records, self.roi, self.lod)
         return filter_uniform(records, self.roi, self.lod)
 
 
@@ -120,8 +141,13 @@ class SingleBaseRequest:
             e_min, e_max = min(e_min, e_cap), min(e_max, e_cap)
         return Box3.from_rect(self.plane.roi, e_min, e_max)
 
-    def filter(self, records: Iterable[DMNodeRecord]) -> dict[int, DMNodeRecord]:
-        """Apply the plane predicate to fetched records."""
+    def filter(
+        self, records: "Iterable[DMNodeRecord] | DMNodeColumns"
+    ) -> dict[int, DMNodeRecord]:
+        """Apply the plane predicate to fetched records (scalar or
+        columnar, like :meth:`UniformRequest.filter`)."""
+        if isinstance(records, DMNodeColumns):
+            return filter_to_plane_columnar(records, self.plane)
         return filter_to_plane(records, self.plane)
 
 
@@ -145,6 +171,7 @@ class QueryMetrics:
     filter_s: float = 0.0
     total_s: float = 0.0
     shared: bool = False
+    cached: bool = False
 
 
 @dataclass
@@ -190,7 +217,9 @@ class _Group:
     positions: list[int] = field(default_factory=list)
     requests: list[EngineRequest] = field(default_factory=list)
     leader: "_Group | None" = None  # Set in subsume mode.
-    records: list[DMNodeRecord] | None = None  # Filled by the leader task.
+    # Filled by the leader task: decoded records (scalar path) or a
+    # columnar page (vectorized path / cache enabled).
+    records: "list[DMNodeRecord] | DMNodeColumns | None" = None
 
 
 class QueryEngine:
@@ -218,6 +247,16 @@ class QueryEngine:
             answered at the coarsest LOD (flagged ``degraded``)
             instead of failing with
             :class:`~repro.errors.DeadlineExceededError`.
+        cache: a :class:`~repro.core.cache.SemanticCache`; every
+            request is checked against it *before* dedup grouping (a
+            hit skips the index probe and record fetch entirely), and
+            every executed range query feeds its cube back in.  A
+            cache may be shared by several engines over the same
+            store; it must be invalidated when the store is rebuilt.
+            Enabling the cache forces the columnar fetch path.
+        vectorized: fetch records as columnar pages and run the
+            numpy filter kernels (the default); ``False`` keeps the
+            scalar per-record reference path.
     """
 
     def __init__(
@@ -230,6 +269,8 @@ class QueryEngine:
         retry_backoff_s: float = 0.002,
         deadline_s: float | None = None,
         degrade: bool = True,
+        cache: SemanticCache | None = None,
+        vectorized: bool = True,
     ) -> None:
         if workers < 1:
             raise QueryError(f"workers must be >= 1, got {workers}")
@@ -254,6 +295,10 @@ class QueryEngine:
         self._retry_backoff_s = retry_backoff_s
         self._deadline_s = deadline_s
         self._degrade = degrade
+        self._cache = cache
+        # Cache entries are columnar pages, so the cache implies the
+        # columnar fetch path even when ``vectorized`` is off.
+        self._columnar = vectorized or cache is not None
         self.registry = registry if registry is not None else MetricsRegistry()
         self._pool = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="repro-engine"
@@ -265,6 +310,11 @@ class QueryEngine:
     def workers(self) -> int:
         """Thread-pool width."""
         return self._workers
+
+    @property
+    def cache(self) -> SemanticCache | None:
+        """The attached semantic cache (None when caching is off)."""
+        return self._cache
 
     def close(self) -> None:
         """Shut the worker pool down (idempotent)."""
@@ -294,6 +344,11 @@ class QueryEngine:
         the pool first, follower groups after — a follower waiting on
         its leader can therefore never deadlock the pool: by FIFO
         dispatch its leader is already running or finished.
+
+        With a semantic cache attached, every request is probed
+        against it *before* dedup grouping: a hit is answered inline
+        (one vectorized filter over the cached cube, no index or disk
+        I/O) and only the misses proceed to planning and execution.
         """
         requests = list(requests)
         if not requests:
@@ -303,7 +358,23 @@ class QueryEngine:
             if self._deadline_s is None
             else time.monotonic() + self._deadline_s
         )
-        groups = self._plan(requests)
+        outcomes: list[QueryOutcome | None] = [None] * len(requests)
+        cache = self._cache
+        cache_before = cache.stats() if cache is not None else None
+        if cache is None:
+            pending = list(enumerate(requests))
+        else:
+            pending = []
+            e_cap = self._store.e_cap
+            for position, request in enumerate(requests):
+                columns = cache.lookup(request.query_box(e_cap))
+                if columns is None:
+                    pending.append((position, request))
+                else:
+                    outcomes[position] = self._cached_outcome(
+                        request, columns
+                    )
+        groups = self._plan(pending)
         leaders = [g for g in groups if g.leader is None]
         followers = [g for g in groups if g.leader is not None]
 
@@ -323,7 +394,6 @@ class QueryEngine:
             for group in followers
         ]
 
-        outcomes: list[QueryOutcome | None] = [None] * len(requests)
         futures = [leader_futures[id(g)] for g in leaders] + follower_futures
         for group, future in zip(leaders + followers, futures):
             try:
@@ -339,22 +409,74 @@ class QueryEngine:
         registry.counter("engine.batches").inc()
         registry.counter("engine.range_queries").inc(len(leaders))
         registry.counter("engine.dedup_shared").inc(
-            len(requests) - len(leaders)
+            len(pending) - len(leaders)
         )
+        if cache_before is not None:
+            self._record_cache_metrics(cache_before)
         assert all(outcome is not None for outcome in outcomes)
         return outcomes  # type: ignore[return-value]
 
+    def _cached_outcome(
+        self, request: EngineRequest, columns: DMNodeColumns
+    ) -> QueryOutcome:
+        """Answer a request from a cached cube (no index/disk I/O)."""
+        started = time.perf_counter()
+        result = DMQueryResult(
+            nodes=request.filter(columns), retrieved=len(columns)
+        )
+        filter_s = time.perf_counter() - started
+        metrics = QueryMetrics(
+            filter_s=filter_s, total_s=filter_s, cached=True
+        )
+        self.registry.histogram("engine.filter_s").observe(filter_s)
+        return QueryOutcome(request, result, metrics)
+
+    def _record_cache_metrics(self, before) -> None:
+        """Mirror the batch's cache activity into the registry.
+
+        The cache keeps lifetime counters (it may be shared across
+        engines); the registry gets this batch's deltas plus the
+        current resident size.
+        """
+        after = self._cache.stats()
+        registry = self.registry
+        registry.counter("cache.hits").inc(after.hits - before.hits)
+        registry.counter("cache.misses").inc(after.misses - before.misses)
+        registry.counter("cache.subsume_hits").inc(
+            after.subsume_hits - before.subsume_hits
+        )
+        registry.counter("cache.insertions").inc(
+            after.insertions - before.insertions
+        )
+        registry.counter("cache.evictions").inc(
+            after.evictions - before.evictions
+        )
+        registry.gauge("cache.bytes").set(after.bytes)
+        registry.gauge("cache.entries").set(after.entries)
+
     # -- planning ----------------------------------------------------------
 
-    def _plan(self, requests: Sequence[EngineRequest]) -> list[_Group]:
-        """Group requests into shared range queries per dedup policy."""
+    def _plan(
+        self, pending: Sequence[tuple[int, EngineRequest]]
+    ) -> list[_Group]:
+        """Group ``(position, request)`` pairs into shared range
+        queries per dedup policy.
+
+        With a cache attached, each group's *probe* box is the
+        prefetch-inflated cube (``cache.inflate``): the per-request
+        filters restore exactness, and the taller cube turns nearby
+        LODs into future cache hits.  Grouping still keys on the
+        uninflated box, so dedup semantics are cache-independent.
+        """
         e_cap = self._store.e_cap
+        cache = self._cache
         groups: list[_Group] = []
         if self._dedup == "off":
-            for position, request in enumerate(requests):
-                groups.append(
-                    _Group(request.query_box(e_cap), [position], [request])
-                )
+            for position, request in pending:
+                box = request.query_box(e_cap)
+                if cache is not None:
+                    box = cache.inflate(box, e_cap)
+                groups.append(_Group(box, [position], [request]))
             return groups
 
         # Key on (box, request type) only: identical query boxes share
@@ -363,12 +485,13 @@ class QueryEngine:
         # over the same cube) — the per-request filter in
         # _filter_group restores exactness.
         by_key: dict[object, _Group] = {}
-        for position, request in enumerate(requests):
+        for position, request in pending:
             box = request.query_box(e_cap)
             key = box.as_tuple() + (type(request).__name__,)
             group = by_key.get(key)
             if group is None:
-                group = _Group(box)
+                probe = box if cache is None else cache.inflate(box, e_cap)
+                group = _Group(probe)
                 by_key[key] = group
                 groups.append(group)
             group.positions.append(position)
@@ -467,10 +590,15 @@ class QueryEngine:
         with store.database.stats.attribute() as probe:
             rids = store.rtree.search(group.box, node_counter=tally)
             index_done = time.perf_counter()
-            records = store.read_records(rids)
+            if self._columnar:
+                records = store.read_records_columnar(rids)
+            else:
+                records = store.read_records(rids)
             fetch_done = time.perf_counter()
             outcomes = self._filter_group(group, records, shared=False)
         finished = time.perf_counter()
+        if self._cache is not None and isinstance(records, DMNodeColumns):
+            self._cache.insert(group.box, records)
 
         metrics = QueryMetrics(
             nodes_visited=tally.count,
@@ -567,7 +695,9 @@ class QueryEngine:
 
     @staticmethod
     def _filter_group(
-        group: _Group, records: list[DMNodeRecord], shared: bool
+        group: _Group,
+        records: "list[DMNodeRecord] | DMNodeColumns",
+        shared: bool,
     ) -> list[QueryOutcome]:
         outcomes: list[QueryOutcome] = []
         # Equal requests in the group share one result object (their

@@ -17,6 +17,7 @@ Disk accesses are *not* reset here: callers scope measurements with
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
@@ -25,7 +26,7 @@ from repro.core.reconstruct import mesh_edges, mesh_triangles
 from repro.errors import QueryError
 from repro.geometry.plane import QueryPlane
 from repro.geometry.primitives import Box3, Rect
-from repro.storage.record import DMNodeRecord
+from repro.storage.record import DMNodeColumns, DMNodeRecord
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.direct_mesh import DirectMeshStore
@@ -37,6 +38,8 @@ __all__ = [
     "multi_base_query",
     "filter_uniform",
     "filter_to_plane",
+    "filter_uniform_columnar",
+    "filter_to_plane_columnar",
 ]
 
 
@@ -59,15 +62,28 @@ class DMQueryResult:
     n_range_queries: int = 1
     plan: MultiBasePlan | None = None
     _edges: set[tuple[int, int]] | None = field(default=None, repr=False)
+    _edges_lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def __len__(self) -> int:
         return len(self.nodes)
 
     def edges(self) -> set[tuple[int, int]]:
-        """Approximation edges (computed once, cached)."""
-        if self._edges is None:
-            self._edges = mesh_edges(self.nodes)
-        return self._edges
+        """Approximation edges (computed once, cached).
+
+        Result objects are shared across engine worker threads (dedup
+        followers reuse the leader's result), so the lazy cache is
+        filled compute-then-assign under a lock: every caller sees the
+        *same* fully built set, never a partially initialised one.
+        """
+        cached = self._edges
+        if cached is not None:
+            return cached
+        with self._edges_lock:
+            if self._edges is None:
+                self._edges = mesh_edges(self.nodes)
+            return self._edges
 
     def triangles(self) -> list[tuple[int, int, int]]:
         """Approximation triangles (angular extraction)."""
@@ -207,3 +223,61 @@ def filter_to_plane(records, plane: QueryPlane) -> dict[int, DMNodeRecord]:
         if rec.interval_contains(required):
             nodes[rec.id] = rec
     return nodes
+
+
+# -- columnar (vectorized) filters ------------------------------------------
+#
+# The numpy twins of the two predicates above, operating on a
+# :class:`~repro.storage.record.DMNodeColumns` page: the predicate runs
+# as one array mask and only surviving rows are materialised into
+# records.  Node-id-identical to the scalar filters by construction
+# (same comparisons, same float arithmetic); the scalar paths stay as
+# the reference oracle for the property tests.
+
+
+def _roi_mask(columns: "DMNodeColumns", roi: Rect):
+    """``roi.contains_point`` over every row, as a boolean mask."""
+    x, y = columns.x, columns.y
+    return (
+        (x >= roi.min_x) & (x <= roi.max_x)
+        & (y >= roi.min_y) & (y <= roi.max_y)
+    )
+
+
+def filter_uniform_columnar(
+    columns: "DMNodeColumns", roi: Rect, lod: float
+) -> dict[int, DMNodeRecord]:
+    """Vectorized :func:`filter_uniform` over a columnar page."""
+    mask = (
+        (columns.e_low <= lod) & (lod < columns.e_high) & _roi_mask(columns, roi)
+    )
+    return columns.materialize(mask)
+
+
+def filter_to_plane_columnar(
+    columns: "DMNodeColumns", plane: QueryPlane
+) -> dict[int, DMNodeRecord]:
+    """Vectorized :func:`filter_to_plane` over a columnar page.
+
+    Uses the plane's ``required_lod_batch`` kernel when it has one
+    (:class:`~repro.geometry.plane.QueryPlane` and
+    :class:`~repro.geometry.plane.RadialLodField` both do); other LOD
+    fields fall back to their scalar ``required_lod`` per row.
+    """
+    import numpy as np
+
+    batch = getattr(plane, "required_lod_batch", None)
+    if batch is not None:
+        required = batch(columns.x, columns.y)
+    else:
+        required = np.fromiter(
+            (plane.required_lod(x, y) for x, y in zip(columns.x, columns.y)),
+            np.float64,
+            len(columns),
+        )
+    mask = (
+        (columns.e_low <= required)
+        & (required < columns.e_high)
+        & _roi_mask(columns, plane.roi)
+    )
+    return columns.materialize(mask)

@@ -128,6 +128,25 @@ class QueryPlane:
         t = min(1.0, max(0.0, t))
         return self.e_min + t * (self.e_max - self.e_min)
 
+    def required_lod_batch(self, xs, ys):
+        """Vectorized :meth:`required_lod` over coordinate arrays.
+
+        Takes two equal-length numpy arrays and returns the required
+        LOD per position — the kernel behind the columnar
+        ``filter_to_plane`` path.
+        """
+        import numpy as np
+
+        xs = np.asarray(xs, np.float64)
+        extent = self.extent_along_direction()
+        if extent == 0 or self.e_max == self.e_min:
+            return np.full(xs.shape, self.e_min)
+        dx, dy = self.direction
+        t = (dx * xs + dy * np.asarray(ys, np.float64) - self._near_offset())
+        t /= extent
+        np.clip(t, 0.0, 1.0, out=t)
+        return self.e_min + t * (self.e_max - self.e_min)
+
     def lod_range_over(self, region: Rect) -> tuple[float, float]:
         """The ``(min, max)`` required LOD over ``region``.
 
@@ -234,6 +253,16 @@ class RadialLodField:
         vx, vy = self.viewer
         distance = math.hypot(x - vx, y - vy)
         return min(self.e_max, max(self.e_min, self.rate * distance))
+
+    def required_lod_batch(self, xs, ys):
+        """Vectorized :meth:`required_lod` over coordinate arrays."""
+        import numpy as np
+
+        vx, vy = self.viewer
+        distance = np.hypot(
+            np.asarray(xs, np.float64) - vx, np.asarray(ys, np.float64) - vy
+        )
+        return np.clip(self.rate * distance, self.e_min, self.e_max)
 
     def lod_range_over(self, region: Rect) -> tuple[float, float]:
         """``(min, max)`` required LOD over ``region``.

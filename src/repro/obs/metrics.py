@@ -21,7 +21,13 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Iterator
 
-__all__ = ["Counter", "Histogram", "HistogramSnapshot", "MetricsRegistry"]
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HistogramSnapshot",
+    "MetricsRegistry",
+]
 
 #: Samples retained per histogram for percentile estimation.  Updates
 #: past the cap still feed count/total/min/max; percentiles are then
@@ -51,6 +57,40 @@ class Counter:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Counter({self.value})"
+
+
+class Gauge:
+    """A thread-safe point-in-time value (can go up and down).
+
+    Counters are monotone; a gauge tracks a level — the semantic
+    cache's resident bytes, a pool's occupancy.  ``set`` overwrites,
+    ``add`` adjusts by a (possibly negative) delta.
+    """
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        """Overwrite the gauge with ``value``."""
+        with self._lock:
+            self._value = float(value)
+
+    def add(self, delta: float) -> None:
+        """Adjust the gauge by ``delta`` (may be negative)."""
+        with self._lock:
+            self._value += float(delta)
+
+    @property
+    def value(self) -> float:
+        """Current level."""
+        with self._lock:
+            return self._value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Gauge({self.value})"
 
 
 @dataclass(frozen=True)
@@ -169,6 +209,7 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
 
     def counter(self, name: str) -> Counter:
@@ -179,6 +220,15 @@ class MetricsRegistry:
                 counter = Counter()
                 self._counters[name] = counter
             return counter
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge called ``name`` (created on first use)."""
+        with self._lock:
+            gauge = self._gauges.get(name)
+            if gauge is None:
+                gauge = Gauge()
+                self._gauges[name] = gauge
+            return gauge
 
     def histogram(self, name: str) -> Histogram:
         """The histogram called ``name`` (created on first use)."""
@@ -206,6 +256,12 @@ class MetricsRegistry:
             items = list(self._counters.items())
         return {name: counter.value for name, counter in items}
 
+    def gauges(self) -> dict[str, float]:
+        """Name -> value for every gauge."""
+        with self._lock:
+            items = list(self._gauges.items())
+        return {name: gauge.value for name, gauge in items}
+
     def histograms(self) -> dict[str, HistogramSnapshot]:
         """Name -> snapshot for every histogram."""
         with self._lock:
@@ -217,6 +273,8 @@ class MetricsRegistry:
         lines = ["metrics", "-------"]
         for name, value in sorted(self.counters().items()):
             lines.append(f"{name:<28} {value}")
+        for name, value in sorted(self.gauges().items()):
+            lines.append(f"{name:<28} {value:.6g}")
         for name, snap in sorted(self.histograms().items()):
             lines.append(
                 f"{name:<28} n={snap.count} mean={snap.mean:.6g} "
@@ -228,4 +286,5 @@ class MetricsRegistry:
         """Drop every instrument (names are re-created on next use)."""
         with self._lock:
             self._counters.clear()
+            self._gauges.clear()
             self._histograms.clear()

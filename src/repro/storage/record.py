@@ -18,6 +18,9 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
 
 from repro.errors import RecordError
 from repro.geometry.primitives import Rect
@@ -26,10 +29,12 @@ from repro.mesh.progressive import NULL_ID, PMNode
 __all__ = [
     "PM_RECORD_SIZE",
     "DMNodeRecord",
+    "DMNodeColumns",
     "encode_pm_node",
     "decode_pm_node",
     "encode_dm_node",
     "decode_dm_node",
+    "decode_dm_nodes_columnar",
     "dm_record_size",
 ]
 
@@ -236,3 +241,201 @@ def decode_dm_node(payload: bytes) -> DMNodeRecord:
 def dm_record_size(n_connections: int) -> int:
     """On-disk size of a DM record with ``n_connections`` entries."""
     return _DM_FIXED.size + n_connections * _CONN_ENTRY.size
+
+
+#: numpy view of the DM fixed part — field-for-field the layout of
+#: ``_DM_FIXED`` (``<i5d5iH``, 66 bytes, no padding).
+_DM_COLUMN_DTYPE = np.dtype(
+    [
+        ("id", "<i4"),
+        ("x", "<f8"),
+        ("y", "<f8"),
+        ("z", "<f8"),
+        ("e_low", "<f8"),
+        ("e_high", "<f8"),
+        ("parent", "<i4"),
+        ("child1", "<i4"),
+        ("child2", "<i4"),
+        ("wing1", "<i4"),
+        ("wing2", "<i4"),
+        ("n_conn", "<u2"),
+    ]
+)
+assert _DM_COLUMN_DTYPE.itemsize == _DM_FIXED.size
+
+
+@dataclass(slots=True)
+class DMNodeColumns:
+    """A page of DM nodes as a numpy struct-of-arrays.
+
+    The columnar twin of a ``list[DMNodeRecord]``: one contiguous
+    array per field, with the variable-length connection lists stored
+    CSR-style (``conn_flat[conn_offsets[i]:conn_offsets[i + 1]]`` is
+    row ``i``'s list).  This is what the vectorized query kernels and
+    the semantic cache operate on — predicates run as array masks and
+    only the surviving rows are materialised back into records.
+    """
+
+    ids: np.ndarray
+    x: np.ndarray
+    y: np.ndarray
+    z: np.ndarray
+    e_low: np.ndarray
+    e_high: np.ndarray
+    parent: np.ndarray
+    child1: np.ndarray
+    child2: np.ndarray
+    wing1: np.ndarray
+    wing2: np.ndarray
+    conn_offsets: np.ndarray
+    conn_flat: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.ids.shape[0])
+
+    @property
+    def nbytes(self) -> int:
+        """Total array payload (the cache's byte accounting)."""
+        return sum(
+            arr.nbytes
+            for arr in (
+                self.ids, self.x, self.y, self.z, self.e_low, self.e_high,
+                self.parent, self.child1, self.child2, self.wing1,
+                self.wing2, self.conn_offsets, self.conn_flat,
+            )
+        )
+
+    def record(self, i: int) -> DMNodeRecord:
+        """Materialise row ``i`` as a :class:`DMNodeRecord`."""
+        lo = int(self.conn_offsets[i])
+        hi = int(self.conn_offsets[i + 1])
+        return DMNodeRecord(
+            int(self.ids[i]),
+            float(self.x[i]),
+            float(self.y[i]),
+            float(self.z[i]),
+            float(self.e_low[i]),
+            float(self.e_high[i]),
+            int(self.parent[i]),
+            int(self.child1[i]),
+            int(self.child2[i]),
+            int(self.wing1[i]),
+            int(self.wing2[i]),
+            [int(c) for c in self.conn_flat[lo:hi]],
+        )
+
+    def materialize(self, mask: np.ndarray) -> dict[int, DMNodeRecord]:
+        """Rows where ``mask`` holds, as an id-keyed record dict.
+
+        Row order is preserved, so the dict's insertion order matches
+        the scalar filters iterating the same records.  Columns are
+        converted with one ``tolist`` per field (much cheaper than
+        per-element ``int()``/``float()`` casts on the hot path).
+        """
+        indices = np.flatnonzero(mask)
+        if indices.size == 0:
+            return {}
+        ids = self.ids[indices].tolist()
+        xs = self.x[indices].tolist()
+        ys = self.y[indices].tolist()
+        zs = self.z[indices].tolist()
+        e_lows = self.e_low[indices].tolist()
+        e_highs = self.e_high[indices].tolist()
+        parents = self.parent[indices].tolist()
+        child1s = self.child1[indices].tolist()
+        child2s = self.child2[indices].tolist()
+        wing1s = self.wing1[indices].tolist()
+        wing2s = self.wing2[indices].tolist()
+        starts = self.conn_offsets[indices].tolist()
+        ends = self.conn_offsets[indices + 1].tolist()
+        flat = self.conn_flat
+        out: dict[int, DMNodeRecord] = {}
+        for k, nid in enumerate(ids):
+            out[nid] = DMNodeRecord(
+                nid, xs[k], ys[k], zs[k], e_lows[k], e_highs[k],
+                parents[k], child1s[k], child2s[k], wing1s[k], wing2s[k],
+                flat[starts[k]:ends[k]].tolist(),
+            )
+        return out
+
+    def records(self) -> list[DMNodeRecord]:
+        """Every row materialised (mainly for tests and fallbacks)."""
+        return [self.record(i) for i in range(len(self))]
+
+
+def decode_dm_nodes_columnar(
+    payloads: Sequence[bytes],
+) -> DMNodeColumns:
+    """Batch-decode DM records into a :class:`DMNodeColumns`.
+
+    Accepts the same payloads as :func:`decode_dm_node` (compressed
+    and uncompressed connection lists may mix freely) and applies the
+    same validation; the fixed parts are decoded in one
+    ``np.frombuffer`` pass instead of per-record ``struct`` unpacking.
+    """
+    n = len(payloads)
+    if n == 0:
+        empty_f = np.empty(0, np.float64)
+        empty_i = np.empty(0, np.int32)
+        return DMNodeColumns(
+            empty_i, empty_f, empty_f, empty_f, empty_f, empty_f,
+            empty_i, empty_i, empty_i, empty_i, empty_i,
+            np.zeros(1, np.int64), np.empty(0, np.int32),
+        )
+    fixed_size = _DM_FIXED.size
+    for payload in payloads:
+        if len(payload) < fixed_size:
+            raise RecordError(
+                f"DM record is {len(payload)} bytes, below fixed part "
+                f"{fixed_size}"
+            )
+    heads = b"".join(p[:fixed_size] for p in payloads)
+    fixed = np.frombuffer(heads, dtype=_DM_COLUMN_DTYPE)
+
+    # Tails: the raw uncompressed bytes are already little-endian i32,
+    # so each record contributes its byte slice to one join + one
+    # frombuffer at the end (a per-record frombuffer would dominate the
+    # whole decode); compressed lists are expanded back to i32 bytes.
+    n_conns = fixed["n_conn"].tolist()
+    counts = np.empty(n, np.int64)
+    parts: list[bytes] = []
+    for i, payload in enumerate(payloads):
+        nc = n_conns[i]
+        if nc == _COMPRESSED_CONN:
+            from repro.storage.varint import decode_id_list
+
+            connections, end = decode_id_list(payload, fixed_size)
+            if end != len(payload):
+                raise RecordError(
+                    f"DM record has {len(payload) - end} trailing bytes"
+                )
+            counts[i] = len(connections)
+            parts.append(np.asarray(connections, "<i4").tobytes())
+        else:
+            expected = fixed_size + nc * _CONN_ENTRY.size
+            if len(payload) != expected:
+                raise RecordError(
+                    f"DM record is {len(payload)} bytes, expected "
+                    f"{expected} for {nc} connections"
+                )
+            counts[i] = nc
+            parts.append(payload[fixed_size:])
+
+    offsets = np.zeros(n + 1, np.int64)
+    np.cumsum(counts, out=offsets[1:])
+    flat = np.frombuffer(b"".join(parts), "<i4").astype(np.int32, copy=False)
+    return DMNodeColumns(
+        ids=np.ascontiguousarray(fixed["id"]),
+        x=np.ascontiguousarray(fixed["x"]),
+        y=np.ascontiguousarray(fixed["y"]),
+        z=np.ascontiguousarray(fixed["z"]),
+        e_low=np.ascontiguousarray(fixed["e_low"]),
+        e_high=np.ascontiguousarray(fixed["e_high"]),
+        parent=np.ascontiguousarray(fixed["parent"]),
+        child1=np.ascontiguousarray(fixed["child1"]),
+        child2=np.ascontiguousarray(fixed["child2"]),
+        wing1=np.ascontiguousarray(fixed["wing1"]),
+        wing2=np.ascontiguousarray(fixed["wing2"]),
+        conn_offsets=offsets,
+        conn_flat=flat,
+    )

@@ -306,3 +306,52 @@ class TestValidation:
     def test_bad_dedup_mode(self, store):
         with pytest.raises(QueryError):
             QueryEngine(store, dedup="fuzzy")
+
+
+class TestEdgesRace:
+    """Result objects are shared across worker threads (dedup
+    followers reuse the leader's result), so the lazy ``edges()``
+    cache must be race-free: every caller sees one complete set."""
+
+    def test_concurrent_edges_single_object(self, store):
+        import threading
+
+        request = _random_uniform(store, random.Random(21), frac=0.6)
+        with QueryEngine(store, workers=1) as engine:
+            result = engine.run(request).result
+        assert len(result.nodes) > 0
+        n_threads = 8
+        barrier = threading.Barrier(n_threads)
+        seen = []
+        lock = threading.Lock()
+
+        def hammer():
+            barrier.wait()  # Maximise the chance of a true race.
+            edges = result.edges()
+            with lock:
+                seen.append(edges)
+
+        for _ in range(20):  # Re-arm the race on fresh result objects.
+            result._edges = None
+            threads = [
+                threading.Thread(target=hammer) for _ in range(n_threads)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        # Every call on one result object returned the *same* set.
+        from repro.core.reconstruct import mesh_edges_scalar
+
+        reference = mesh_edges_scalar(result.nodes)
+        assert all(edges == reference for edges in seen)
+        first = seen[0]
+        for edges in seen[:n_threads]:
+            assert edges is first
+
+    def test_dedup_followers_share_edge_cache(self, store):
+        request = _random_uniform(store, random.Random(22))
+        with QueryEngine(store, workers=4) as engine:
+            outcomes = engine.run_batch([request] * 6)
+        edge_sets = [o.result.edges() for o in outcomes]
+        assert all(e is edge_sets[0] for e in edge_sets)
