@@ -6,7 +6,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test test-fast lint ci stress perf-smoke bench report examples clean
+.PHONY: install test test-fast lint lint-repro typecheck ci stress perf-smoke bench report examples clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -20,7 +20,23 @@ test-fast:
 lint:
 	ruff check src tests benchmarks
 
-ci: lint test
+# Project-specific static analysis: lock discipline, e_cap clamping,
+# lazy-init safety, typed invariants, metric-name registry.  Rules and
+# suppressions live in src/repro/analysis; `--list-rules` explains.
+lint-repro:
+	PYTHONPATH=src $(PYTHON) -m repro.analysis src tests benchmarks --statistics
+
+# Strict typing over the concurrency-critical layers (the `files` list
+# in [tool.mypy]).  mypy is not vendored in the offline image, so skip
+# gracefully when it is missing; CI always installs and runs it.
+typecheck:
+	@if $(PYTHON) -c "import mypy" 2>/dev/null; then \
+		$(PYTHON) -m mypy; \
+	else \
+		echo "typecheck: mypy not installed; skipping (CI runs it)"; \
+	fi
+
+ci: lint lint-repro test
 
 # Robustness gate: the fault-injection and concurrency suites (which
 # run the engine at workers=8), repeated to shake out scheduling-

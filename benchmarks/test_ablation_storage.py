@@ -80,6 +80,7 @@ def test_clustering_ablation(benchmark, env_2m, workload_2m):
                     env_2m.dm.uniform_query(roi, lod)
                     str_total += env_2m.database.disk_accesses
                     db.begin_measured_query()
+                    # reprolint: disable=R2 ablation measures the bare index
                     rids = rtree.search(Box3.from_rect(roi, lod, lod))
                     for payload in heap.read_many(sorted(rids)):
                         decode_dm_node(payload)

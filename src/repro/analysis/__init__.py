@@ -1,0 +1,30 @@
+"""``reprolint`` — project-specific static analysis for the repro codebase.
+
+Run it as ``python -m repro.analysis src tests benchmarks`` (or
+``make lint-repro``).  See :mod:`repro.analysis.rules` for the rule
+set and :mod:`repro.analysis.engine` for the rule engine, suppression
+grammar, and how to add a rule.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import rules as _rules  # noqa: F401  (registers rules)
+from repro.analysis.engine import (
+    FileContext,
+    Rule,
+    Violation,
+    all_rules,
+    check_paths,
+    check_source,
+    register,
+)
+
+__all__ = [
+    "FileContext",
+    "Rule",
+    "Violation",
+    "all_rules",
+    "check_paths",
+    "check_source",
+    "register",
+]

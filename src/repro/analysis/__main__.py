@@ -1,0 +1,80 @@
+"""CLI entry point: ``python -m repro.analysis [paths...]``.
+
+Exit codes: 0 — clean; 1 — violations found; 2 — usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections import Counter
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis import all_rules, check_paths
+
+DEFAULT_PATHS = ("src", "tests", "benchmarks")
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=(
+            "reprolint: project-specific static analysis "
+            "(lock discipline, e_cap clamping, lazy-init safety, "
+            "typed invariants, metric registry)"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help=f"files or directories to lint (default: {' '.join(DEFAULT_PATHS)})",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule set and exit",
+    )
+    parser.add_argument(
+        "--statistics",
+        action="store_true",
+        help="print a per-rule violation count after the findings",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.id}  {rule.title}")
+        return 0
+
+    paths = args.paths or [
+        path for path in DEFAULT_PATHS if Path(path).exists()
+    ]
+    if not paths:
+        print("reprolint: no paths to lint", file=sys.stderr)
+        return 2
+    missing = [path for path in paths if not Path(path).exists()]
+    if missing:
+        print(
+            f"reprolint: no such path(s): {', '.join(missing)}",
+            file=sys.stderr,
+        )
+        return 2
+
+    violations = check_paths(paths)
+    for violation in violations:
+        print(violation.render())
+    if args.statistics and violations:
+        counts = Counter(violation.rule_id for violation in violations)
+        for rule_id in sorted(counts):
+            print(f"{rule_id}: {counts[rule_id]}")
+    if violations:
+        print(
+            f"reprolint: {len(violations)} violation(s)", file=sys.stderr
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,478 @@
+"""The reprolint rule set.
+
+Every rule is grounded in a bug this repository actually shipped (and
+fixed) or a standing invariant of the design:
+
+========  ==================================================================
+R1        Lock discipline: attributes a lock protects must be accessed
+          under it (the ``Histogram.snapshot()`` race).
+R2        Clamped probes: R*-tree range queries only through the
+          sanctioned wrappers, query boxes through :func:`clamp_lod`
+          (the ``e_cap`` blind spot).
+R3        Lazy init on shared objects needs double-checked locking
+          (the ``DMQueryResult._edges`` race).
+R4        No load-bearing ``assert`` under ``src/`` — raise typed
+          errors from :mod:`repro.errors` (asserts vanish under -O).
+R5        Metric names come from :data:`repro.obs.metrics.METRIC_NAMES`
+          (typos fork series silently).
+R6        No bare ``Lock.acquire()`` without try/finally release or a
+          context manager.
+========  ==================================================================
+
+Rules R1/R3 scope themselves to classes that *own* a lock (they assign
+``threading.Lock()``/``RLock()`` to an attribute), so single-threaded
+value classes stay out of scope by construction.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import (
+    FileContext,
+    Rule,
+    Violation,
+    class_lock_attrs,
+    is_self_attr,
+    is_with_lock,
+    iter_attr_accesses,
+    iter_methods,
+    iter_statement_lists,
+    register,
+)
+
+#: Modules allowed to probe the DM R*-tree directly (R2).  Everything
+#: else goes through the query processors / the engine, which clamp
+#: the probe to ``e_cap``.
+SANCTIONED_PROBE_MODULES = (
+    "src/repro/core/query.py",
+    "src/repro/core/engine.py",
+    "src/repro/index/rstar.py",
+)
+
+#: Modules whose query-box construction must route LOD coordinates
+#: through ``clamp_lod`` (the wrapper layer itself).
+CLAMP_MODULES = (
+    "src/repro/core/query.py",
+    "src/repro/core/engine.py",
+)
+
+#: Receiver names that identify an R*-tree probe (``store.rtree``,
+#: a local ``tree``/``rtree`` variable...).
+_RTREE_NAMES = frozenset({"rtree", "tree", "rstar", "rstar_tree", "r_tree"})
+
+
+def _terminal_name(node: ast.AST) -> str:
+    """The last identifier of a dotted/indexed expression."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Subscript):
+        return _terminal_name(node.value)
+    return ""
+
+
+@register
+class LockDisciplineRule(Rule):
+    """R1: attributes a lock protects are accessed only under it.
+
+    For every class that owns a lock, the rule infers the *guarded*
+    set — private attributes mutated while the lock is held (direct
+    assignment, augmented assignment, subscript stores, or in-place
+    mutator calls like ``.append``/``.clear``) — then flags any access
+    to a guarded attribute outside the lock.  Two idioms stay legal:
+
+    * ``__init__``/``__new__`` construct state before it is shared;
+    * a *read* in a method that also touches the same attribute under
+      the lock (the double-checked fast path R3 prescribes);
+    * methods named ``*_locked`` declare caller-holds-the-lock.
+    """
+
+    id = "R1"
+    title = "lock-protected attribute accessed outside its lock"
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(ctx, node)
+
+    def _check_class(
+        self, ctx: FileContext, cls: ast.ClassDef
+    ) -> Iterator[Violation]:
+        lock_attrs = class_lock_attrs(cls)
+        if not lock_attrs:
+            return
+        accesses = [
+            access
+            for method in iter_methods(cls)
+            for access in iter_attr_accesses(method, lock_attrs)
+        ]
+        guarded = {
+            access.attr
+            for access in accesses
+            if access.is_write
+            and access.under_lock
+            and access.method not in ("__init__", "__new__")
+        }
+        locked_reads_by_method = {
+            (access.method, access.attr)
+            for access in accesses
+            if access.under_lock
+        }
+        for access in accesses:
+            if access.attr not in guarded or access.under_lock:
+                continue
+            if access.method in ("__init__", "__new__"):
+                continue
+            if (
+                not access.is_write
+                and (access.method, access.attr) in locked_reads_by_method
+            ):
+                continue  # Double-checked fast path: re-read under lock.
+            verb = "written" if access.is_write else "read"
+            yield self.violation(
+                ctx,
+                access.node,
+                f"{cls.name}.{access.attr} is guarded by a lock but "
+                f"{verb} outside it in {access.method}(); wrap the "
+                "access in the lock (or suffix the method _locked if "
+                "callers hold it)",
+            )
+
+
+@register
+class ClampedProbeRule(Rule):
+    """R2: R*-tree probes only via sanctioned, e_cap-clamped wrappers.
+
+    Part A: a ``<rtree>.search(...)`` call outside
+    :data:`SANCTIONED_PROBE_MODULES` bypasses the ``min(lod, e_cap)``
+    clamp and re-opens the e_cap blind spot (``lod > e_cap`` silently
+    returned an empty mesh instead of the base mesh).
+
+    Part B: inside the wrapper modules themselves, every query-box
+    construction (``Box3.from_rect``) must sit in a function that
+    routes its LOD coordinates through ``clamp_lod``.
+    """
+
+    id = "R2"
+    title = "unsanctioned or unclamped R*-tree range query"
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        sanctioned = ctx.path_endswith(*SANCTIONED_PROBE_MODULES)
+        if not sanctioned:
+            for node in ast.walk(ctx.tree):
+                if self._is_rtree_search(node):
+                    yield self.violation(
+                        ctx,
+                        node,
+                        "direct R*-tree range query outside the "
+                        "sanctioned wrappers (core/query.py, "
+                        "core/engine.py); use uniform_query/"
+                        "single_base_query or the QueryEngine so the "
+                        "probe is clamped to e_cap",
+                    )
+            return
+        if ctx.path_endswith(*CLAMP_MODULES):
+            yield from self._check_clamp(ctx)
+
+    @staticmethod
+    def _is_rtree_search(node: ast.AST) -> bool:
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "search"
+            and _terminal_name(node.func.value) in _RTREE_NAMES
+        )
+
+    def _check_clamp(self, ctx: FileContext) -> Iterator[Violation]:
+        functions = [
+            node
+            for node in ast.walk(ctx.tree)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+        for function in functions:
+            if function.name == "clamp_lod":
+                continue
+            calls_clamp = any(
+                isinstance(node, ast.Call)
+                and _terminal_name(node.func) == "clamp_lod"
+                for node in ast.walk(function)
+            )
+            if calls_clamp:
+                continue
+            for node in ast.walk(function):
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "from_rect"
+                ):
+                    yield self.violation(
+                        ctx,
+                        node,
+                        f"{function.name}() builds a query box without "
+                        "routing its LOD coordinates through "
+                        "clamp_lod(); probes above e_cap return an "
+                        "empty mesh instead of the base mesh",
+                    )
+
+
+@register
+class LazyInitRule(Rule):
+    """R3: lazy init of shared attributes uses double-checked locking.
+
+    In a lock-owning class, ``if self._x is None: self._x = ...`` is a
+    publication race unless (a) it already runs under the lock, or
+    (b) the body takes the lock and re-checks before assigning —
+    exactly the ``DMQueryResult._edges`` fix.
+    """
+
+    id = "R3"
+    title = "unsynchronised lazy initialisation of a shared attribute"
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(ctx, node)
+
+    def _check_class(
+        self, ctx: FileContext, cls: ast.ClassDef
+    ) -> Iterator[Violation]:
+        lock_attrs = class_lock_attrs(cls)
+        if not lock_attrs:
+            return
+        for method in iter_methods(cls):
+            if method.name in ("__init__", "__new__"):
+                continue
+            if method.name.endswith("_locked"):
+                continue
+            locked_ids: set[int] = set()
+            for node in ast.walk(method):
+                if isinstance(node, ast.With) and is_with_lock(
+                    node, lock_attrs
+                ):
+                    locked_ids.update(id(child) for child in ast.walk(node))
+            for node in ast.walk(method):
+                attr = self._lazy_init_attr(node)
+                if attr is None:
+                    continue
+                if id(node) in locked_ids:
+                    continue
+                if self._body_is_checked_lock(node, attr, lock_attrs):
+                    continue
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"lazy init of {cls.name}.{attr} races: use "
+                    "double-checked locking (check, take the lock, "
+                    "re-check, then assign)",
+                )
+
+    @staticmethod
+    def _lazy_init_attr(node: ast.AST) -> str | None:
+        """``_x`` when node is ``if self._x is None:`` assigning it."""
+        if not isinstance(node, ast.If):
+            return None
+        test = node.test
+        if not (
+            isinstance(test, ast.Compare)
+            and is_self_attr(test.left)
+            and test.left.attr.startswith("_")
+            and len(test.ops) == 1
+            and isinstance(test.ops[0], ast.Is)
+            and isinstance(test.comparators[0], ast.Constant)
+            and test.comparators[0].value is None
+        ):
+            return None
+        attr = test.left.attr
+        for child in ast.walk(node):
+            if isinstance(child, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    child.targets
+                    if isinstance(child, ast.Assign)
+                    else [child.target]
+                )
+                for target in targets:
+                    if is_self_attr(target) and target.attr == attr:
+                        return attr
+        return None
+
+    @staticmethod
+    def _body_is_checked_lock(
+        node: ast.If, attr: str, lock_attrs: set[str]
+    ) -> bool:
+        """Body takes the lock and re-checks before assigning."""
+        for stmt in node.body:
+            if isinstance(stmt, ast.With) and is_with_lock(stmt, lock_attrs):
+                recheck = any(
+                    LazyInitRule._lazy_init_attr(inner) == attr
+                    for inner in ast.walk(stmt)
+                )
+                if recheck:
+                    return True
+        return False
+
+
+@register
+class NoAssertRule(Rule):
+    """R4: no load-bearing ``assert`` in production code.
+
+    ``python -O`` strips assert statements, silently disabling the
+    check.  Library invariants raise
+    :class:`repro.errors.InvariantError` (or another typed error)
+    instead; tests and benchmarks may assert freely.
+    """
+
+    id = "R4"
+    title = "assert statement in src/ (stripped under python -O)"
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        if not ctx.in_src:
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Assert):
+                yield self.violation(
+                    ctx,
+                    node,
+                    "assert is stripped under python -O; raise "
+                    "InvariantError (repro.errors) so the invariant "
+                    "survives in production",
+                )
+
+
+@register
+class MetricRegistryRule(Rule):
+    """R5: literal metric names must be declared in the registry.
+
+    :class:`~repro.obs.metrics.MetricsRegistry` creates instruments on
+    first use, so a typo'd name silently forks a series instead of
+    failing.  Every string-literal name passed to ``.counter()`` /
+    ``.gauge()`` / ``.histogram()`` / ``.timer()`` must appear in
+    :data:`repro.obs.metrics.METRIC_NAMES`; f-string names must start
+    with a prefix from :data:`repro.obs.metrics.METRIC_PREFIXES`.
+    """
+
+    id = "R5"
+    title = "metric name not in the declared registry"
+
+    _FACTORIES = frozenset({"counter", "gauge", "histogram", "timer"})
+
+    def __init__(self) -> None:
+        self._names: frozenset[str] | None = None
+        self._prefixes: frozenset[str] | None = None
+
+    def _registry(self) -> tuple[frozenset[str], frozenset[str]]:
+        if self._names is None or self._prefixes is None:
+            from repro.obs.metrics import METRIC_NAMES, METRIC_PREFIXES
+
+            self._names = METRIC_NAMES
+            self._prefixes = METRIC_PREFIXES
+        return self._names, self._prefixes
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        names, prefixes = self._registry()
+        for node in ast.walk(ctx.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in self._FACTORIES
+                and node.args
+            ):
+                continue
+            arg = node.args[0]
+            if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+                name = arg.value
+                if name in names or any(
+                    name.startswith(prefix) for prefix in prefixes
+                ):
+                    continue
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"metric name '{name}' is not declared in "
+                    "repro.obs.metrics.METRIC_NAMES; add it there (a "
+                    "typo here would silently fork the series)",
+                )
+            elif isinstance(arg, ast.JoinedStr):
+                head = ""
+                if arg.values and isinstance(arg.values[0], ast.Constant):
+                    head = str(arg.values[0].value)
+                if head and any(
+                    head.startswith(prefix) for prefix in prefixes
+                ):
+                    continue
+                yield self.violation(
+                    ctx,
+                    node,
+                    "dynamically formatted metric name must start with "
+                    "a prefix declared in "
+                    "repro.obs.metrics.METRIC_PREFIXES",
+                )
+
+
+@register
+class BareAcquireRule(Rule):
+    """R6: ``Lock.acquire()`` needs a paired, exception-safe release.
+
+    An acquire whose release can be skipped by an exception leaks the
+    lock and deadlocks every later waiter.  Allowed forms: ``with
+    lock:`` (preferred) or ``lock.acquire()`` immediately followed by
+    ``try: ... finally: lock.release()``.
+    """
+
+    id = "R6"
+    title = "bare Lock.acquire() without try/finally release"
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        sanctioned: set[int] = set()
+        for stmts in iter_statement_lists(ctx.tree):
+            for index, stmt in enumerate(stmts):
+                call = self._acquire_stmt(stmt)
+                if call is None:
+                    continue
+                if index + 1 < len(stmts) and self._try_releases(
+                    stmts[index + 1]
+                ):
+                    sanctioned.add(id(call))
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "acquire"
+                and id(node) not in sanctioned
+            ):
+                yield self.violation(
+                    ctx,
+                    node,
+                    "acquire() without a guaranteed release: use "
+                    "'with lock:' or follow the acquire immediately "
+                    "with try/finally lock.release()",
+                )
+
+    @staticmethod
+    def _acquire_stmt(stmt: ast.stmt) -> ast.Call | None:
+        value = None
+        if isinstance(stmt, ast.Expr):
+            value = stmt.value
+        elif isinstance(stmt, ast.Assign):
+            value = stmt.value
+        if (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Attribute)
+            and value.func.attr == "acquire"
+        ):
+            return value
+        return None
+
+    @staticmethod
+    def _try_releases(stmt: ast.stmt) -> bool:
+        if not isinstance(stmt, ast.Try) or not stmt.finalbody:
+            return False
+        return any(
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "release"
+            for final in stmt.finalbody
+            for node in ast.walk(final)
+        )

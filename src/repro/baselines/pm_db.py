@@ -26,7 +26,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass
 
-from repro.errors import QueryError, StorageError
+from repro.errors import InvariantError, QueryError, StorageError
 from repro.geometry.plane import QueryPlane
 from repro.geometry.primitives import Box3, Rect
 from repro.geometry.spacefill import hilbert_key, normalized_quantizer
@@ -204,7 +204,10 @@ class PMStore:
         while stack:
             node = resolve(stack.pop())
             footprint = node.footprint
-            assert footprint is not None
+            if footprint is None:
+                raise InvariantError(
+                    "stored PM node has no footprint", node=node.id
+                )
             if not footprint.intersects(roi):
                 continue
             if roi.contains_point(node.x, node.y) and node.interval_contains(

@@ -22,7 +22,7 @@ import sys
 from pathlib import Path
 
 from repro.core import DirectMeshStore, build_connection_lists
-from repro.errors import ReproError
+from repro.errors import InvariantError, ReproError
 from repro.geometry.plane import QueryPlane
 from repro.geometry.primitives import Rect
 from repro.mesh import SimplifyConfig, simplify_to_pm
@@ -280,7 +280,8 @@ def _cmd_build(args) -> int:
                 pm, db, connections, compress_connections=args.compress
             )
         report = store.build_report
-        assert report is not None
+        if report is None:
+            raise InvariantError("freshly built store has no build report")
         print(
             f"built {report.n_nodes} nodes: {report.heap_pages} data pages, "
             f"{report.index_pages} index pages, "

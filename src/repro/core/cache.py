@@ -200,13 +200,13 @@ class SemanticCache:
                 if box.contains_box(candidate.box)
             ]
             for key in doomed:
-                self._drop(key)
+                self._drop_locked(key)
             self._entries[box.as_tuple()] = entry
             self._bytes += entry.nbytes
             self._insertions += 1
             while self._bytes > self.max_bytes:
                 oldest = next(iter(self._entries))
-                self._drop(oldest)
+                self._drop_locked(oldest)
                 self._evictions += 1
             return True
 
@@ -224,6 +224,8 @@ class SemanticCache:
 
     # -- internals ---------------------------------------------------------
 
-    def _drop(self, key: tuple) -> None:
+    def _drop_locked(self, key: tuple[float, ...]) -> None:
+        # The ``_locked`` suffix is a contract (checked by reprolint
+        # rule R1): callers hold ``self._lock``.
         entry = self._entries.pop(key)
         self._bytes -= entry.nbytes

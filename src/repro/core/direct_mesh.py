@@ -46,7 +46,7 @@ import json
 from dataclasses import dataclass
 
 from repro.core.connectivity import build_connection_lists
-from repro.core.cost_model import RTreeCostModel
+from repro.core.cost_model import MultiBasePlan, RTreeCostModel
 from repro.core.query import (
     DMQueryResult,
     multi_base_query,
@@ -258,7 +258,9 @@ class DirectMeshStore:
         """Viewpoint-dependent query, Algorithm 1 (Section 5.2)."""
         return single_base_query(self, plane)
 
-    def multi_base_query(self, plane: QueryPlane, plan=None) -> DMQueryResult:
+    def multi_base_query(
+        self, plane: QueryPlane, plan: MultiBasePlan | None = None
+    ) -> DMQueryResult:
         """Viewpoint-dependent query, multi-base plan (Section 5.3).
 
         ``plan`` overrides the cost-model optimiser (used by the

@@ -60,19 +60,25 @@ Usage::
 from __future__ import annotations
 
 import time
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterable, Sequence, Union
 
-from repro.core.cache import SemanticCache
+from repro.core.cache import CacheStats, SemanticCache
 from repro.core.query import (
     DMQueryResult,
+    clamp_lod,
     filter_to_plane,
     filter_to_plane_columnar,
     filter_uniform,
     filter_uniform_columnar,
 )
-from repro.errors import DeadlineExceededError, QueryError, TransientIOError
+from repro.errors import (
+    DeadlineExceededError,
+    InvariantError,
+    QueryError,
+    TransientIOError,
+)
 from repro.geometry.plane import QueryPlane
 from repro.geometry.primitives import Box3, Rect
 from repro.obs.metrics import MetricsRegistry
@@ -110,7 +116,7 @@ class UniformRequest:
         :attr:`lod`, so ``lod > e_cap`` returns the base mesh instead
         of probing above every indexed segment.
         """
-        probe_e = self.lod if e_cap is None else min(self.lod, e_cap)
+        probe_e = clamp_lod(self.lod, e_cap)
         return Box3.from_rect(self.roi, probe_e, probe_e)
 
     def filter(
@@ -136,9 +142,8 @@ class SingleBaseRequest:
     def query_box(self, e_cap: float | None = None) -> Box3:
         """The query cube ``roi x [e_min, e_max]`` (clamped to
         ``e_cap`` like :meth:`UniformRequest.query_box`)."""
-        e_min, e_max = self.plane.e_min, self.plane.e_max
-        if e_cap is not None:
-            e_min, e_max = min(e_min, e_cap), min(e_max, e_cap)
+        e_min = clamp_lod(self.plane.e_min, e_cap)
+        e_max = clamp_lod(self.plane.e_max, e_cap)
         return Box3.from_rect(self.plane.roi, e_min, e_max)
 
     def filter(
@@ -323,7 +328,7 @@ class QueryEngine:
     def __enter__(self) -> "QueryEngine":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.close()
 
     # -- execution ---------------------------------------------------------
@@ -411,10 +416,17 @@ class QueryEngine:
         registry.counter("engine.dedup_shared").inc(
             len(pending) - len(leaders)
         )
-        if cache_before is not None:
-            self._record_cache_metrics(cache_before)
-        assert all(outcome is not None for outcome in outcomes)
-        return outcomes  # type: ignore[return-value]
+        if cache is not None and cache_before is not None:
+            self._record_cache_metrics(cache, cache_before)
+        filled: list[QueryOutcome] = []
+        for position, outcome in enumerate(outcomes):
+            if outcome is None:
+                raise InvariantError(
+                    "run_batch left a request without an outcome",
+                    position=position,
+                )
+            filled.append(outcome)
+        return filled
 
     def _cached_outcome(
         self, request: EngineRequest, columns: DMNodeColumns
@@ -431,14 +443,16 @@ class QueryEngine:
         self.registry.histogram("engine.filter_s").observe(filter_s)
         return QueryOutcome(request, result, metrics)
 
-    def _record_cache_metrics(self, before) -> None:
+    def _record_cache_metrics(
+        self, cache: SemanticCache, before: CacheStats
+    ) -> None:
         """Mirror the batch's cache activity into the registry.
 
         The cache keeps lifetime counters (it may be shared across
         engines); the registry gets this batch's deltas plus the
         current resident size.
         """
-        after = self._cache.stats()
+        after = cache.stats()
         registry = self.registry
         registry.counter("cache.hits").inc(after.hits - before.hits)
         registry.counter("cache.misses").inc(after.misses - before.misses)
@@ -549,15 +563,21 @@ class QueryEngine:
             return outcomes
 
     def _execute_follower(
-        self, group: _Group, leader_future, deadline: float | None
+        self,
+        group: _Group,
+        leader_future: "Future[list[QueryOutcome]]",
+        deadline: float | None,
     ) -> list[QueryOutcome]:
         """Filter a subsumed group against its leader's records.
 
         A failed leader does not cascade: the follower is demoted to
         an independent probe under the full retry/deadline policy.
         """
+        leader = group.leader
+        if leader is None:
+            raise InvariantError("follower group has no leader")
         leader_outcomes = leader_future.result()
-        records = group.leader.records
+        records = leader.records
         if records is None or not leader_outcomes[0].ok:
             self.registry.counter("engine.demotions").inc(
                 len(group.requests)
@@ -679,12 +699,21 @@ class QueryEngine:
         """
         store = self._store
         coarse_lod = store.max_lod
+        uniform = [
+            request
+            for request in group.requests
+            if isinstance(request, UniformRequest)
+        ]
+        if len(uniform) != len(group.requests):
+            raise InvariantError(
+                "degraded execution reached a non-uniform request"
+            )
         # All requests in a group share one query box, hence one ROI.
-        roi = group.requests[0].roi
+        roi = uniform[0].roi
         coarse_group = _Group(
             UniformRequest(roi, coarse_lod).query_box(store.e_cap),
             list(group.positions),
-            [UniformRequest(request.roi, coarse_lod) for request in group.requests],
+            [UniformRequest(request.roi, coarse_lod) for request in uniform],
         )
         outcomes = self._execute_group(coarse_group)
         # Re-label with the original requests: the caller must see the

@@ -18,9 +18,14 @@ Example::
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.errors import QueryError
+from repro.geometry.plane import QueryPlane
 from repro.geometry.primitives import Box3, Rect
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.direct_mesh import DirectMeshStore
 
 __all__ = ["explain", "QueryExplanation", "RangeStep"]
 
@@ -87,8 +92,8 @@ class QueryExplanation:
 
 
 def explain(
-    store,
-    query,
+    store: "DirectMeshStore",
+    query: Rect | QueryPlane,
     lod: float | None = None,
     execute: bool = False,
 ) -> QueryExplanation:

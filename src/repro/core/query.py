@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Iterable
 
 from repro.core.cost_model import MultiBasePlan
 from repro.core.reconstruct import mesh_edges, mesh_triangles
@@ -29,10 +29,14 @@ from repro.geometry.primitives import Box3, Rect
 from repro.storage.record import DMNodeColumns, DMNodeRecord
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    import numpy as np
+    import numpy.typing as npt
+
     from repro.core.direct_mesh import DirectMeshStore
 
 __all__ = [
     "DMQueryResult",
+    "clamp_lod",
     "uniform_query",
     "single_base_query",
     "multi_base_query",
@@ -113,6 +117,24 @@ class DMQueryResult:
         return vertices, triangles
 
 
+def clamp_lod(e: float, e_cap: float | None) -> float:
+    """Clamp a probe height to the store's indexing cap.
+
+    Root records keep the paper's ``[e, inf)`` interval but their
+    *indexed* segments top out at ``e_cap``, so an index probe above
+    the cap would sail over every segment and return an empty mesh.
+    Every query-box construction must route its LOD coordinates
+    through this helper (``reprolint`` rule R2 enforces it); the
+    per-request *filters* keep using the real, unclamped LOD, which is
+    what makes ``lod > e_cap`` return exactly the base mesh.
+
+    ``e_cap=None`` (no cap known) returns ``e`` unchanged.
+    """
+    if e_cap is None:
+        return e
+    return min(e, e_cap)
+
+
 def uniform_query(
     store: "DirectMeshStore", roi: Rect, lod: float
 ) -> DMQueryResult:
@@ -130,7 +152,7 @@ def uniform_query(
     """
     if lod < 0:
         raise QueryError(f"LOD must be non-negative, got {lod}")
-    probe_e = min(lod, store.e_cap)
+    probe_e = clamp_lod(lod, store.e_cap)
     plane_box = Box3.from_rect(roi, probe_e, probe_e)
     rids = store.rtree.search(plane_box)
     records = store.read_records(rids)
@@ -151,8 +173,8 @@ def single_base_query(
     """
     cube = Box3.from_rect(
         plane.roi,
-        min(plane.e_min, store.e_cap),
-        min(plane.e_max, store.e_cap),
+        clamp_lod(plane.e_min, store.e_cap),
+        clamp_lod(plane.e_max, store.e_cap),
     )
     rids = store.rtree.search(cube)
     records = store.read_records(rids)
@@ -181,8 +203,8 @@ def multi_base_query(
     for strip in plan.strips:
         cube = Box3.from_rect(
             strip.roi,
-            min(strip.e_min, store.e_cap),
-            min(strip.e_max, store.e_cap),
+            clamp_lod(strip.e_min, store.e_cap),
+            clamp_lod(strip.e_max, store.e_cap),
         )
         rids = store.rtree.search(cube)
         records = store.read_records(rids)
@@ -199,7 +221,7 @@ def multi_base_query(
 
 
 def filter_uniform(
-    records, roi: Rect, lod: float
+    records: Iterable[DMNodeRecord], roi: Rect, lod: float
 ) -> dict[int, DMNodeRecord]:
     """The uniform-query predicate: half-open LOD interval over
     ``roi``.  Shared by :func:`uniform_query` and the batched engine so
@@ -211,7 +233,9 @@ def filter_uniform(
     }
 
 
-def filter_to_plane(records, plane: QueryPlane) -> dict[int, DMNodeRecord]:
+def filter_to_plane(
+    records: Iterable[DMNodeRecord], plane: QueryPlane
+) -> dict[int, DMNodeRecord]:
     """The viewpoint-dependent predicate: each node's interval must
     contain the plane's required LOD at the node's position."""
     roi = plane.roi
@@ -235,7 +259,9 @@ def filter_to_plane(records, plane: QueryPlane) -> dict[int, DMNodeRecord]:
 # the reference oracle for the property tests.
 
 
-def _roi_mask(columns: "DMNodeColumns", roi: Rect):
+def _roi_mask(
+    columns: "DMNodeColumns", roi: Rect
+) -> "npt.NDArray[np.bool_]":
     """``roi.contains_point`` over every row, as a boolean mask."""
     x, y = columns.x, columns.y
     return (

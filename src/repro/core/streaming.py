@@ -21,12 +21,17 @@ the property that makes DM suit thin clients.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.core.query import DMQueryResult
 from repro.core.reconstruct import mesh_edges, mesh_triangles
 from repro.errors import QueryError
 from repro.geometry.primitives import Rect
 from repro.storage.record import DMNodeRecord, dm_record_size
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.direct_mesh import DirectMeshStore
+    from repro.geometry.plane import QueryPlane
 
 __all__ = ["TerrainSession", "SessionDelta"]
 
@@ -60,7 +65,7 @@ class SessionDelta:
 class TerrainSession:
     """A stateful client view over a Direct Mesh store."""
 
-    def __init__(self, store) -> None:
+    def __init__(self, store: "DirectMeshStore") -> None:
         self._store = store
         self._active: dict[int, DMNodeRecord] = {}
         self._updates = 0
@@ -84,7 +89,9 @@ class TerrainSession:
 
     # -- updates ------------------------------------------------------------
 
-    def update(self, view, lod: float | None = None) -> SessionDelta:
+    def update(
+        self, view: "Rect | QueryPlane", lod: float | None = None
+    ) -> SessionDelta:
         """Move the session to a new view and return the delta.
 
         Args:
@@ -99,7 +106,9 @@ class TerrainSession:
         disk_accesses = database.disk_accesses
         return self._apply(result, disk_accesses)
 
-    def _evaluate(self, view, lod: float | None) -> DMQueryResult:
+    def _evaluate(
+        self, view: "Rect | QueryPlane", lod: float | None
+    ) -> DMQueryResult:
         if isinstance(view, Rect):
             if lod is None:
                 raise QueryError("uniform view updates need a lod value")

@@ -16,9 +16,13 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.errors import StorageError
 from repro.storage.record import decode_dm_node
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.direct_mesh import DirectMeshStore
 
 __all__ = ["verify_store", "StoreReport"]
 
@@ -54,7 +58,9 @@ class StoreReport:
 
 
 def verify_store(
-    store, sample_connections: int = 2000, raise_on_error: bool = False
+    store: "DirectMeshStore",
+    sample_connections: int = 2000,
+    raise_on_error: bool = False,
 ) -> StoreReport:
     """Verify a :class:`~repro.core.direct_mesh.DirectMeshStore`.
 

@@ -3,13 +3,71 @@
 Every error raised by this library derives from :class:`ReproError`, so
 applications can catch library failures with a single ``except`` clause
 while still distinguishing subsystems when they need to.
+
+Errors carry structured **context fields**: keyword arguments beyond
+the message are stored on :attr:`ReproError.context` and rendered into
+``str(err)``, so a failure deep in the storage engine can surface
+*which* page, segment, or node it was about without string parsing.
+Every error class round-trips through :mod:`pickle` (message and
+context intact) — a requirement for future multiprocess workers, whose
+failures cross process boundaries inside futures.
+
+Production invariants must raise :class:`InvariantError` (or another
+typed error) instead of using ``assert``: assert statements are
+stripped under ``python -O``, silently disabling the check.  The
+``reprolint`` rule R4 (:mod:`repro.analysis`) enforces this over
+``src/``.
 """
 
 from __future__ import annotations
 
 
 class ReproError(Exception):
-    """Base class for all errors raised by :mod:`repro`."""
+    """Base class for all errors raised by :mod:`repro`.
+
+    Args:
+        message: human-readable description of the failure.
+        **context: structured context fields (page numbers, segment
+            names, node ids, ...), kept on :attr:`context` and shown
+            in ``str(err)``.
+    """
+
+    def __init__(self, message: str = "", **context: object) -> None:
+        super().__init__(message)
+        self.context: dict[str, object] = dict(context)
+
+    @property
+    def message(self) -> str:
+        """The human-readable message (without context fields)."""
+        return str(self.args[0]) if self.args else ""
+
+    def __str__(self) -> str:
+        base = self.message
+        if self.context:
+            rendered = ", ".join(
+                f"{key}={value!r}" for key, value in sorted(self.context.items())
+            )
+            return f"{base} [{rendered}]" if base else f"[{rendered}]"
+        return base
+
+    def __reduce__(
+        self,
+    ) -> tuple[type, tuple[object, ...], dict[str, object]]:
+        # BaseException's default reduce already carries args + __dict__,
+        # but being explicit keeps subclasses with extra positional
+        # parameters honest: reconstruction is always cls(*args) followed
+        # by a __dict__ restore.
+        return (type(self), self.args, self.__dict__)
+
+
+class InvariantError(ReproError):
+    """An internal invariant of the library was violated.
+
+    Raised where an ``assert`` would otherwise live: seeing one of
+    these always indicates a bug in :mod:`repro` itself (or memory
+    corruption), never bad user input.  Unlike ``assert``, the check
+    survives ``python -O``.
+    """
 
 
 class GeometryError(ReproError):

@@ -24,7 +24,7 @@ from __future__ import annotations
 import struct
 from typing import Sequence
 
-from repro.errors import IndexError_
+from repro.errors import IndexError_, InvariantError
 from repro.geometry.primitives import Box3
 from repro.storage.database import Segment
 
@@ -138,7 +138,8 @@ class LodQuadtree:
     ) -> int:
         if len(points) <= self._leaf_cap:
             return self._write_leaf(points)
-        assert self._space is not None
+        if self._space is None:
+            raise InvariantError("quadtree build entered _build with no space box")
         # Normalised extents of the *population*, not the box: this is
         # the adaptivity to LOD skew.
         es = [p[2] for p in points]

@@ -32,13 +32,20 @@ from __future__ import annotations
 import math
 import struct
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Iterable, Protocol, Sequence
 
-from repro.errors import IndexError_
+from repro.errors import IndexError_, InvariantError
 from repro.geometry.primitives import Box3, union_all_boxes
 from repro.storage.database import Segment
 
-__all__ = ["RStarTree", "RTreeNodeStats"]
+__all__ = ["RStarTree", "RTreeNodeStats", "SupportsInc"]
+
+
+class SupportsInc(Protocol):
+    """Anything with an ``inc()`` — e.g. a metrics Counter."""
+
+    def inc(self, n: int = 1) -> None: ...
+
 
 _META = struct.Struct("<4sIHQ6d")
 _MAGIC = b"RST1"
@@ -219,7 +226,9 @@ class RStarTree:
 
     # -- search ----------------------------------------------------------------------
 
-    def search(self, query: Box3, node_counter=None) -> list[int]:
+    def search(
+        self, query: Box3, node_counter: "SupportsInc | None" = None
+    ) -> list[int]:
         """Payloads of all leaf entries whose box intersects ``query``.
 
         ``node_counter`` — any object with an ``inc()`` method, e.g. a
@@ -325,7 +334,8 @@ class RStarTree:
             if best_key is None or key < best_key:
                 best_key = key
                 best = child
-        assert best is not None
+        if best is None:
+            raise InvariantError("ChooseSubtree saw an empty entry list")
         return best
 
     @staticmethod
@@ -353,7 +363,8 @@ class RStarTree:
             if best_key is None or key < best_key:
                 best_key = key
                 best = child
-        assert best is not None
+        if best is None:
+            raise InvariantError("ChooseSubtree saw an empty entry list")
         return best
 
     def _adjust_path(self, path: list[int]) -> None:
@@ -479,7 +490,11 @@ class RStarTree:
             if best_axis_key is None or margin_sum < best_axis_key:
                 best_axis_key = margin_sum
                 best_axis_dists = dists
-        assert best_axis_dists is not None
+        if best_axis_dists is None:
+            raise InvariantError(
+                "R* split produced no candidate distributions",
+                entries=len(entries),
+            )
         best = None
         best_key = None
         for left, right, box_l, box_r in best_axis_dists:
@@ -487,7 +502,8 @@ class RStarTree:
             if best_key is None or key < best_key:
                 best_key = key
                 best = (left, right)
-        assert best is not None
+        if best is None:
+            raise InvariantError("R* split chose no distribution")
         return best
 
     # -- deletion ----------------------------------------------------------------------

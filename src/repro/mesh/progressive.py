@@ -28,7 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator, Sequence
 
-from repro.errors import MeshError
+from repro.errors import InvariantError, MeshError
 from repro.geometry.primitives import Rect
 
 __all__ = ["PMNode", "ProgressiveMesh", "NULL_ID", "LOD_INFINITY"]
@@ -202,7 +202,13 @@ class ProgressiveMesh:
             else:
                 f1 = self.nodes[node.child1].footprint
                 f2 = self.nodes[node.child2].footprint
-                assert f1 is not None and f2 is not None
+                if f1 is None or f2 is None:
+                    raise InvariantError(
+                        "child footprint missing during bottom-up pass",
+                        node=node.id,
+                        child1=node.child1,
+                        child2=node.child2,
+                    )
                 own = Rect(node.x, node.y, node.x, node.y)
                 node.footprint = f1.union(f2).union(own)
 

@@ -26,6 +26,8 @@ __all__ = [
     "Gauge",
     "Histogram",
     "HistogramSnapshot",
+    "METRIC_NAMES",
+    "METRIC_PREFIXES",
     "MetricsRegistry",
 ]
 
@@ -33,6 +35,56 @@ __all__ = [
 #: past the cap still feed count/total/min/max; percentiles are then
 #: computed over the retained prefix.
 DEFAULT_MAX_SAMPLES = 8192
+
+#: Every metric name the library emits, declared up front.  A typo'd
+#: name does not fail at runtime — :class:`MetricsRegistry` happily
+#: creates instruments on first use, silently forking a series — so
+#: the declaration is enforced *statically*: ``reprolint`` rule R5
+#: (:mod:`repro.analysis`) flags any literal instrument name that is
+#: not listed here.  Add the name to this set in the same change that
+#: introduces the instrument.
+METRIC_NAMES: frozenset[str] = frozenset(
+    {
+        # -- query engine --------------------------------------------------
+        "engine.requests",
+        "engine.batches",
+        "engine.range_queries",
+        "engine.dedup_shared",
+        "engine.retries",
+        "engine.errors",
+        "engine.demotions",
+        "engine.deadline_misses",
+        "engine.degraded",
+        "engine.index_s",
+        "engine.fetch_s",
+        "engine.filter_s",
+        "engine.query_s",
+        "engine.nodes_visited",
+        "engine.pages_read",
+        "engine.cache_hit_rate",
+        # -- semantic result cache -----------------------------------------
+        "cache.hits",
+        "cache.misses",
+        "cache.subsume_hits",
+        "cache.insertions",
+        "cache.evictions",
+        "cache.bytes",
+        "cache.entries",
+        # -- benchmark harness ---------------------------------------------
+        "bench.cold_query_s",
+        "bench.batch_s",
+    }
+)
+
+#: Prefixes for metric families whose full name is built at runtime
+#: (e.g. per-segment I/O counters).  A dynamically formatted name must
+#: start with one of these; rule R5 checks the constant head of
+#: f-strings against this set.
+METRIC_PREFIXES: frozenset[str] = frozenset(
+    {
+        "io.reads.",
+    }
+)
 
 
 class Counter:

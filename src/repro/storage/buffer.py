@@ -82,7 +82,8 @@ class BufferPool:
     @property
     def capacity(self) -> int:
         """Maximum number of cached pages."""
-        return self._capacity
+        with self._latch:
+            return self._capacity
 
     def resize(self, capacity: int) -> None:
         """Change capacity; evicts (writing back) if shrinking."""
@@ -91,7 +92,7 @@ class BufferPool:
         with self._latch:
             self._capacity = capacity
             while len(self._frames) > self._capacity:
-                self._evict_one()
+                self._evict_one_locked()
 
     # -- page access ---------------------------------------------------------
 
@@ -122,7 +123,7 @@ class BufferPool:
                     return frame.data
             data = pager.read_page(page_no)  # Counts the physical read.
             with self._latch:
-                self._admit(key, _Frame(data, pager))
+                self._admit_locked(key, _Frame(data, pager))
             return data
 
     def put_new(self, pager: Pager, page_no: int, data: bytearray) -> None:
@@ -136,7 +137,7 @@ class BufferPool:
         frame = _Frame(data, pager)
         frame.dirty = True
         with self._latch:
-            self._admit(key, frame)
+            self._admit_locked(key, frame)
 
     def mark_dirty(self, pager: Pager, page_no: int) -> None:
         """Flag a cached page as modified."""
@@ -176,17 +177,18 @@ class BufferPool:
         with self._latch:
             return len(self._frames)
 
-    # -- internals (latch held) ---------------------------------------------
+    # -- internals (the ``_locked`` suffix is a contract, checked by
+    # reprolint rule R1: callers hold ``self._latch``) ----------------------
 
-    def _admit(self, key: tuple[str, int], frame: _Frame) -> None:
+    def _admit_locked(self, key: tuple[str, int], frame: _Frame) -> None:
         if key in self._frames:  # Lost a race on another stripe: keep LRU.
             self._frames.move_to_end(key)
             return
         while len(self._frames) >= self._capacity:
-            self._evict_one()
+            self._evict_one_locked()
         self._frames[key] = frame
 
-    def _evict_one(self) -> None:
+    def _evict_one_locked(self) -> None:
         key, frame = self._frames.popitem(last=False)
         if frame.dirty:
             frame.pager.write_page(key[1], frame.data)

@@ -14,13 +14,16 @@ from __future__ import annotations
 import shutil
 from contextlib import contextmanager
 from pathlib import Path
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
 
 from repro.errors import StorageError
 from repro.storage.buffer import DEFAULT_POOL_PAGES, BufferPool
 from repro.storage.page import DEFAULT_PAGE_SIZE
 from repro.storage.pager import Pager
 from repro.storage.stats import DiskStats
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.storage.faults import FaultInjector
 
 __all__ = ["Database", "Segment"]
 
@@ -89,7 +92,7 @@ class Database:
         page_size: int = DEFAULT_PAGE_SIZE,
         overwrite: bool = False,
         io_latency: float = 0.0,
-        fault_injector=None,
+        fault_injector: "FaultInjector | None" = None,
     ) -> None:
         self.path = Path(path)
         if overwrite and self.path.exists():
@@ -144,7 +147,7 @@ class Database:
         for pager in self._pagers.values():
             pager.io_latency = seconds
 
-    def set_fault_injector(self, injector) -> None:
+    def set_fault_injector(self, injector: "FaultInjector | None") -> None:
         """Install (or with ``None``, remove) a fault injector on every
         current and future segment's physical-read path.
 
@@ -244,7 +247,7 @@ class Database:
     def __enter__(self) -> "Database":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.close()
 
     def _check_open(self) -> None:

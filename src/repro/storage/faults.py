@@ -131,6 +131,7 @@ class FaultInjector:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"FaultInjector(error_rate={self.error_rate}, "
+            # reprolint: disable=R1 debug repr tolerates a torn seed read
             f"latency_rate={self.latency_rate}, seed={self._seed}, "
             f"errors={self.errors_injected}/{self.calls})"
         )

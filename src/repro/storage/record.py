@@ -22,7 +22,7 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.errors import RecordError
+from repro.errors import InvariantError, RecordError
 from repro.geometry.primitives import Rect
 from repro.mesh.progressive import NULL_ID, PMNode
 
@@ -261,7 +261,12 @@ _DM_COLUMN_DTYPE = np.dtype(
         ("n_conn", "<u2"),
     ]
 )
-assert _DM_COLUMN_DTYPE.itemsize == _DM_FIXED.size
+if _DM_COLUMN_DTYPE.itemsize != _DM_FIXED.size:
+    raise InvariantError(
+        "columnar dtype drifted from the packed record layout",
+        dtype_itemsize=_DM_COLUMN_DTYPE.itemsize,
+        struct_size=_DM_FIXED.size,
+    )
 
 
 @dataclass(slots=True)

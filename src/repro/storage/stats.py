@@ -125,7 +125,7 @@ class DiskStats:
         """Count ``pages`` physical page reads against ``segment``."""
         with self._lock:
             self._physical_reads += pages
-            self._segment(segment)["physical_reads"] += pages
+            self._segment_locked(segment)["physical_reads"] += pages
         probe = getattr(self._local, "probe", None)
         if probe is not None:
             probe.physical_reads += pages
@@ -134,7 +134,7 @@ class DiskStats:
         """Count ``pages`` physical page writes against ``segment``."""
         with self._lock:
             self._physical_writes += pages
-            self._segment(segment)["physical_writes"] += pages
+            self._segment_locked(segment)["physical_writes"] += pages
         probe = getattr(self._local, "probe", None)
         if probe is not None:
             probe.physical_writes += pages
@@ -143,7 +143,7 @@ class DiskStats:
         """Count ``pages`` buffer requests against ``segment``."""
         with self._lock:
             self._logical_reads += pages
-            self._segment(segment)["logical_reads"] += pages
+            self._segment_locked(segment)["logical_reads"] += pages
         probe = getattr(self._local, "probe", None)
         if probe is not None:
             probe.logical_reads += pages
@@ -169,7 +169,8 @@ class DiskStats:
         finally:
             self._local.probe = None
 
-    def _segment(self, name: str) -> dict[str, int]:
+    def _segment_locked(self, name: str) -> dict[str, int]:
+        # ``_locked`` suffix: callers hold ``self._lock`` (reprolint R1).
         bucket = self._by_segment.get(name)
         if bucket is None:
             bucket = {
@@ -185,17 +186,20 @@ class DiskStats:
     @property
     def physical_reads(self) -> int:
         """Total physical page reads since construction or reset."""
-        return self._physical_reads
+        with self._lock:
+            return self._physical_reads
 
     @property
     def physical_writes(self) -> int:
         """Total physical page writes."""
-        return self._physical_writes
+        with self._lock:
+            return self._physical_writes
 
     @property
     def logical_reads(self) -> int:
         """Total buffer page requests."""
-        return self._logical_reads
+        with self._lock:
+            return self._logical_reads
 
     def snapshot(self) -> StatsSnapshot:
         """An immutable copy of all counters."""

@@ -18,9 +18,13 @@ Usage::
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.errors import StorageError
 from repro.storage.stats import DiskStats
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.metrics import MetricsRegistry
 
 __all__ = ["IOTracer", "IOTrace"]
 
@@ -96,14 +100,18 @@ class IOTracer:
     one report.
     """
 
-    def __init__(self, stats: DiskStats, registry=None) -> None:
+    def __init__(
+        self, stats: DiskStats, registry: "MetricsRegistry | None" = None
+    ) -> None:
         self._stats = stats
         self._registry = registry
         self._attached = False
         self.trace = IOTrace()
 
     @classmethod
-    def attach(cls, stats: DiskStats, registry=None) -> "IOTracer":
+    def attach(
+        cls, stats: DiskStats, registry: "MetricsRegistry | None" = None
+    ) -> "IOTracer":
         """Start recording physical reads on ``stats``.
 
         Only one tracer may be attached at a time.
@@ -135,6 +143,6 @@ class IOTracer:
     def __enter__(self) -> "IOTracer":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         if self._attached:
             self.detach()

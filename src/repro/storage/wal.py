@@ -31,8 +31,12 @@ import os
 import struct
 import zlib
 from pathlib import Path
+from typing import TYPE_CHECKING, Callable
 
 from repro.errors import StorageError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.storage.database import Segment
 
 __all__ = ["WriteAheadLog"]
 
@@ -102,7 +106,7 @@ class WriteAheadLog:
         """True when a WAL file is present (clean shutdowns remove it)."""
         return (Path(directory) / WAL_FILENAME).exists()
 
-    def recover(self, open_segment) -> str:
+    def recover(self, open_segment: "Callable[[str], Segment]") -> str:
         """Replay a committed log or discard an uncommitted one.
 
         Args:

@@ -1,0 +1,13 @@
+# reprolint-fixture: path=src/repro/core/demo_pragma.py
+# expect: R0:8
+# expect: R0:12
+# A suppression without a reason, or naming an unknown rule, is
+# itself a violation: every escape hatch must be justified in-repo.
+
+
+def first(values):  # reprolint: disable=R4
+    return values[0]
+
+
+def second(values):  # reprolint: disable=R99 no such rule exists
+    return values[1]

@@ -1,0 +1,23 @@
+# reprolint-fixture: path=src/repro/obs/demo_histogram.py
+# Minimized reproduction of the Histogram.snapshot() race fixed in
+# PR 2: count/total were read under the lock but the percentile
+# samples were copied outside it, so a snapshot could mix two states.
+import threading
+
+
+class Histogram:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._count = 0
+        self._samples = []
+
+    def observe(self, value):
+        with self._lock:
+            self._count += 1
+            self._samples.append(value)
+
+    def snapshot(self):
+        with self._lock:
+            count = self._count
+        samples = sorted(self._samples)  # [R1]
+        return count, samples

@@ -1,0 +1,22 @@
+# reprolint-fixture: path=src/repro/obs/demo_histogram.py
+# The fixed form: every field of the snapshot is read in one critical
+# section, so concurrent observers can never tear it.
+import threading
+
+
+class Histogram:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._count = 0
+        self._samples = []
+
+    def observe(self, value):
+        with self._lock:
+            self._count += 1
+            self._samples.append(value)
+
+    def snapshot(self):
+        with self._lock:
+            count = self._count
+            samples = sorted(self._samples)
+        return count, samples

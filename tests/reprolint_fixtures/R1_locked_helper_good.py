@@ -1,0 +1,24 @@
+# reprolint-fixture: path=src/repro/core/demo_cache.py
+# The *_locked suffix declares a caller-holds-the-lock contract, so a
+# helper factored out of a critical section stays legal.
+import threading
+
+
+class Cache:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._entries = {}
+        self._bytes = 0
+
+    def insert(self, key, entry, nbytes):
+        with self._lock:
+            self._entries[key] = entry
+            self._bytes += nbytes
+
+    def evict(self, key):
+        with self._lock:
+            self._drop_locked(key)
+
+    def _drop_locked(self, key):
+        self._entries.pop(key)
+        self._bytes -= 1

@@ -1,0 +1,21 @@
+# reprolint-fixture: path=src/repro/core/demo_result.py
+# Minimized reproduction of the DMQueryResult._edges race fixed in
+# PR 3: result objects are shared across engine worker threads, and
+# the unsynchronised lazy cache let two threads build (and one
+# observe a half-built) edge set.
+import threading
+
+
+def compute_edges():
+    return set()
+
+
+class QueryResult:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._edges = None
+
+    def edges(self):
+        if self._edges is None:  # [R3]
+            self._edges = compute_edges()
+        return self._edges

@@ -1,0 +1,23 @@
+# reprolint-fixture: path=src/repro/core/demo_result.py
+# The fixed form: double-checked locking.  The fast path re-reads the
+# published value; builders re-check under the lock before assigning.
+import threading
+
+
+def compute_edges():
+    return set()
+
+
+class QueryResult:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._edges = None
+
+    def edges(self):
+        cached = self._edges
+        if cached is not None:
+            return cached
+        with self._lock:
+            if self._edges is None:
+                self._edges = compute_edges()
+            return self._edges

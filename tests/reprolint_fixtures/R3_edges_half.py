@@ -1,0 +1,20 @@
+# reprolint-fixture: path=src/repro/core/demo_result.py
+# Locking the assignment without re-checking is still a race: two
+# threads can pass the outer check and both build the edge set.
+import threading
+
+
+def compute_edges():
+    return set()
+
+
+class QueryResult:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._edges = None
+
+    def edges(self):
+        if self._edges is None:  # [R3]
+            with self._lock:
+                self._edges = compute_edges()
+        return self._edges

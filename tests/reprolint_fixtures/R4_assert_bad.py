@@ -1,0 +1,6 @@
+# reprolint-fixture: path=src/repro/core/demo_batch.py
+# Load-bearing asserts vanish under `python -O`; production invariants
+# must raise typed errors instead.
+def finalize(outcomes):
+    assert all(o is not None for o in outcomes)  # [R4]
+    return list(outcomes)

@@ -1,0 +1,10 @@
+# reprolint-fixture: path=src/repro/core/demo_batch.py
+# The fixed form survives `python -O` and carries context.
+from repro.errors import InvariantError
+
+
+def finalize(outcomes):
+    for position, outcome in enumerate(outcomes):
+        if outcome is None:
+            raise InvariantError("batch left a hole", position=position)
+    return list(outcomes)

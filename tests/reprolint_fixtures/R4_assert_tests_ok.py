@@ -1,0 +1,4 @@
+# reprolint-fixture: path=tests/demo_test_batch.py
+# Asserts are the native idiom in tests; R4 only polices src/.
+def test_finalize():
+    assert [1, 2] == [1, 2]

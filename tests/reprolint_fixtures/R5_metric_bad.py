@@ -1,0 +1,6 @@
+# reprolint-fixture: path=src/repro/obs/demo_emit.py
+# A typo in a metric name silently forks the series; every literal
+# name must come from the METRIC_NAMES registry.
+def record(metrics, n):
+    metrics.counter("enginee.requests").add(n)  # [R5]
+    metrics.histogram("engine.query.seconds").observe(0.1)  # [R5]

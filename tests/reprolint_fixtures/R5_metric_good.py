@@ -1,0 +1,7 @@
+# reprolint-fixture: path=src/repro/obs/demo_emit.py
+# Registered names, registered prefixes, and dynamic names resolved
+# elsewhere are all fine.
+def record(metrics, n, segment, name):
+    metrics.counter("engine.requests").add(n)
+    metrics.counter(f"io.reads.{segment}").add(1)
+    metrics.gauge(name).set(n)

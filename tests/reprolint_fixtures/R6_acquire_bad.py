@@ -1,0 +1,9 @@
+# reprolint-fixture: path=src/repro/storage/demo_latch.py
+# A bare acquire() leaks the lock on any exception between acquire
+# and release; use `with` or an immediate try/finally.
+def drain(latch, queue):
+    latch.acquire()  # [R6]
+    items = list(queue)
+    queue.clear()
+    latch.release()
+    return items

@@ -1,0 +1,18 @@
+# reprolint-fixture: path=src/repro/storage/demo_latch.py
+# Sanctioned form: acquire immediately followed by try/finally that
+# releases.  (A plain `with latch:` is better still.)
+def drain(latch, queue):
+    latch.acquire()
+    try:
+        items = list(queue)
+        queue.clear()
+    finally:
+        latch.release()
+    return items
+
+
+def drain_with(latch, queue):
+    with latch:
+        items = list(queue)
+        queue.clear()
+    return items

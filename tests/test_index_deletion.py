@@ -1,4 +1,5 @@
 """Tests for B+-tree and R*-tree deletion."""
+# reprolint: disable-file=R2 deletion tests exercise the raw R*-tree on purpose
 
 import random
 

@@ -1,4 +1,5 @@
 """The observability layer: counters, histograms, registry."""
+# reprolint: disable-file=R5 registry unit tests use synthetic metric names
 
 import threading
 

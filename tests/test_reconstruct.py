@@ -121,6 +121,7 @@ class TestRefinement:
         # Re-fetch everything the cube would grab, then refine.
         from repro.geometry.primitives import Box3
 
+        # reprolint: disable=R2 oracle probe; lod is below e_cap by construction
         rids = store.rtree.search(Box3.from_rect(roi, lod, lod))
         records = {r.id: r for r in store.read_records(rids)}
         refined = refine_to_plane(records, flat)

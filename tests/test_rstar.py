@@ -1,4 +1,5 @@
 """Tests for the disk-backed R*-tree."""
+# reprolint: disable-file=R2 unit tests exercise the raw R*-tree on purpose
 
 import random
 
