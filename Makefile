@@ -6,7 +6,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test test-fast lint lint-repro typecheck ci stress perf-smoke bench report examples clean
+.PHONY: install test test-fast lint lint-repro typecheck ci stress perf-smoke fsck bench report examples clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -55,6 +55,22 @@ stress:
 # `perf-smoke` job in CI, which relaxes the guards for shared runners.
 perf-smoke:
 	$(PYTHON) -m pytest benchmarks/test_semantic_cache.py --benchmark-only -q
+
+# Integrity drill: build a throwaway database, scrub it (must be
+# clean), snapshot, inject seeded corruption (scrub must now fail),
+# repair from the snapshot, and scrub once more.  Mirrors the
+# `integrity` job in CI.
+FSCK_DB ?= /tmp/repro-fsck-drill.db
+fsck:
+	rm -rf $(FSCK_DB)
+	PYTHONPATH=src $(PYTHON) -m repro build $(FSCK_DB) --dataset foothills --points 800
+	PYTHONPATH=src $(PYTHON) -m repro fsck $(FSCK_DB)
+	PYTHONPATH=src $(PYTHON) -m repro fsck $(FSCK_DB) --archive
+	PYTHONPATH=src $(PYTHON) -m repro fsck $(FSCK_DB) --inject 5 --seed 7; \
+		test $$? -eq 1 || { echo "fsck missed injected corruption"; exit 1; }
+	PYTHONPATH=src $(PYTHON) -m repro fsck $(FSCK_DB) --repair
+	PYTHONPATH=src $(PYTHON) -m repro fsck $(FSCK_DB)
+	rm -rf $(FSCK_DB)
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s

@@ -17,6 +17,10 @@ R5        Metric names come from :data:`repro.obs.metrics.METRIC_NAMES`
           (typos fork series silently).
 R6        No bare ``Lock.acquire()`` without try/finally release or a
           context manager.
+R7        Raw page I/O (``os.pread``/``os.pwrite``) only inside the
+          storage layer's sanctioned modules — everything else goes
+          through :class:`~repro.storage.pager.Pager`, which seals and
+          verifies page checksums.
 ========  ==================================================================
 
 Rules R1/R3 scope themselves to classes that *own* a lock (they assign
@@ -61,6 +65,16 @@ CLAMP_MODULES = (
 #: Receiver names that identify an R*-tree probe (``store.rtree``,
 #: a local ``tree``/``rtree`` variable...).
 _RTREE_NAMES = frozenset({"rtree", "tree", "rstar", "rstar_tree", "r_tree"})
+
+#: The only modules allowed to call ``os.pread``/``os.pwrite`` (R7):
+#: the pager (seals + verifies checksums), the WAL (its own record
+#: framing), and the corruption injector (must damage bytes *around*
+#: the pager, which would refuse to produce them).
+SANCTIONED_RAW_IO_MODULES = (
+    "src/repro/storage/pager.py",
+    "src/repro/storage/wal.py",
+    "src/repro/storage/integrity.py",
+)
 
 
 def _terminal_name(node: ast.AST) -> str:
@@ -476,3 +490,41 @@ class BareAcquireRule(Rule):
             for final in stmt.finalbody
             for node in ast.walk(final)
         )
+
+
+@register
+class RawPageIORule(Rule):
+    """R7: raw page I/O stays inside the sanctioned storage modules.
+
+    A bare ``os.pread``/``os.pwrite`` outside
+    :data:`SANCTIONED_RAW_IO_MODULES` bypasses the pager — pages
+    written that way carry no (or a stale) crc trailer and fail
+    verification on the next read; pages read that way skip
+    verification entirely.  Route page access through
+    :class:`~repro.storage.pager.Pager` (or a :class:`Segment`), which
+    seals on write and verifies on read.
+    """
+
+    id = "R7"
+    title = "raw os.pread/os.pwrite outside the sanctioned storage modules"
+
+    _RAW_IO = frozenset({"pread", "pwrite"})
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        if ctx.path_endswith(*SANCTIONED_RAW_IO_MODULES):
+            return
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in self._RAW_IO
+                and _terminal_name(node.func.value) == "os"
+            ):
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"os.{node.func.attr} bypasses the pager's checksum "
+                    "seal/verify; use Pager.read_page/write_page (or "
+                    "Segment), or repro.storage.inject_corruption for "
+                    "deliberate damage in drills",
+                )

@@ -9,6 +9,11 @@ Commands:
 * ``viewdep`` — run a viewpoint-dependent (tilted-plane) query;
 * ``bench-serve`` — replay a synthetic query workload through the
   concurrent engine at several worker counts (throughput baseline);
+* ``fsck``    — verify (and optionally repair) storage integrity:
+  every page of every segment is checksum-verified and the R*-tree
+  walked structurally; ``--repair`` restores corrupt pages from a
+  committed WAL, ``--archive`` snapshots one, ``--inject`` runs a
+  seeded corruption drill;
 * ``info``    — describe a built database (segments, pages, metadata).
 
 The CLI is a thin veneer over the public API; anything beyond quick
@@ -192,6 +197,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "page read (exercises the retry path; 0 = off)",
     )
     serve.add_argument(
+        "--corrupt-rate",
+        type=float,
+        default=0.0,
+        help="probability of injected page corruption per physical "
+        "page read (bitflip/torn/zero; exercises checksum "
+        "verification and the quarantine path; 0 = off)",
+    )
+    serve.add_argument(
         "--deadline-ms",
         type=float,
         default=None,
@@ -238,6 +251,45 @@ def _build_parser() -> argparse.ArgumentParser:
         help="print the full metrics report of the last sweep",
     )
     serve.set_defaults(handler=_cmd_bench_serve)
+
+    fsck = sub.add_parser(
+        "fsck",
+        help="verify (and optionally repair) storage integrity",
+    )
+    fsck.add_argument("database")
+    fsck.add_argument(
+        "--repair",
+        action="store_true",
+        help="restore corrupt pages from a committed write-ahead log "
+        "and quarantine what it cannot restore",
+    )
+    fsck.add_argument(
+        "--archive",
+        action="store_true",
+        help="snapshot every page into a committed WAL (a repair "
+        "source for later drills) before scrubbing",
+    )
+    fsck.add_argument(
+        "--inject",
+        type=int,
+        default=0,
+        metavar="N",
+        help="corruption drill: damage N random pages before the "
+        "scrub (seeded; the scrub must then find exactly N)",
+    )
+    fsck.add_argument(
+        "--kind",
+        choices=["bitflip", "torn", "zero"],
+        default=None,
+        help="restrict --inject to one corruption kind (default: mix)",
+    )
+    fsck.add_argument("--seed", type=int, default=0)
+    fsck.add_argument(
+        "--json",
+        action="store_true",
+        help="print the machine-readable report instead of text",
+    )
+    fsck.set_defaults(handler=_cmd_fsck)
 
     info = sub.add_parser("info", help="describe a built database")
     info.add_argument("database")
@@ -397,13 +449,17 @@ def _cmd_bench_serve(args) -> int:
             requests.append(UniformRequest(random_roi(), lod))
 
     # Faults go live only now: the open/workload phases above are
-    # setup, not serving — only the engine's retry path should face
-    # injected errors.
+    # setup, not serving — only the engine's retry/quarantine paths
+    # should face injected errors or corruption.
     injector = None
-    if args.fault_rate > 0.0:
+    if args.fault_rate > 0.0 or args.corrupt_rate > 0.0:
         from repro.storage.faults import FaultInjector
 
-        injector = FaultInjector(error_rate=args.fault_rate, seed=args.seed)
+        injector = FaultInjector(
+            error_rate=args.fault_rate,
+            corrupt_rate=args.corrupt_rate,
+            seed=args.seed,
+        )
         db.set_fault_injector(injector)
 
     print(
@@ -416,12 +472,17 @@ def _cmd_bench_serve(args) -> int:
             f"  semantic cache: {args.cache_mb} MiB, "
             f"prefetch-e {args.prefetch_e}"
         )
-    if args.fault_rate > 0.0 or args.deadline_ms is not None:
+    if (
+        args.fault_rate > 0.0
+        or args.corrupt_rate > 0.0
+        or args.deadline_ms is not None
+    ):
         deadline = (
             "none" if args.deadline_ms is None else f"{args.deadline_ms}ms"
         )
         print(
-            f"  faults: rate {args.fault_rate}, retries {args.retries}, "
+            f"  faults: rate {args.fault_rate}, corrupt "
+            f"{args.corrupt_rate}, retries {args.retries}, "
             f"deadline {deadline}"
         )
     print(
@@ -435,6 +496,8 @@ def _cmd_bench_serve(args) -> int:
     registry = None
     for workers in args.workers:
         registry = MetricsRegistry()
+        # The pagers report crc failures into the sweep's registry.
+        db.set_metrics_registry(registry)
         # A fresh cache per sweep: every worker count faces the same
         # cold-cache state, so rows stay comparable.
         cache = None
@@ -468,14 +531,74 @@ def _cmd_bench_serve(args) -> int:
         )
     if injector is not None:
         print(
-            f"  injected {injector.errors_injected} faults over "
+            f"  injected {injector.errors_injected} faults, "
+            f"{injector.corruptions_injected} corruptions over "
             f"{injector.calls} reads"
         )
+        if args.corrupt_rate > 0.0:
+            print(
+                f"  crc failures: {db.crc_failures} "
+                f"(run `python -m repro fsck` to scrub and repair)"
+            )
     if args.metrics and registry is not None:
         print()
         print(registry.report())
     db.close()
     return 0
+
+
+def _cmd_fsck(args) -> int:
+    import json
+
+    from repro.obs.metrics import MetricsRegistry
+    from repro.storage import (
+        archive_pages,
+        inject_corruption,
+        repair_database,
+        scrub_database,
+    )
+    from repro.storage.faults import CORRUPTION_KINDS
+
+    path = Path(args.database)
+    if not path.is_dir():
+        raise ReproError(f"{path} is not a database directory")
+    registry = MetricsRegistry()
+    notes: list[str] = []
+    # recover=False: an fsck must inspect the database as-is, not
+    # replay (and delete) the WAL it may later want as a repair source.
+    with Database(path, recover=False) as db:
+        db.set_metrics_registry(registry)
+        if args.archive:
+            wal_path = archive_pages(db)
+            total = sum(db.segment_pages(n) for n in db.segment_names())
+            notes.append(f"archived {total} pages to {wal_path.name}")
+        if args.inject > 0:
+            kinds = (args.kind,) if args.kind else CORRUPTION_KINDS
+            hits = inject_corruption(
+                path,
+                args.inject,
+                seed=args.seed,
+                kinds=kinds,
+                page_size=db.page_size,
+            )
+            notes.append(
+                f"injected {len(hits)} corruptions: "
+                + ", ".join(f"{s}:{p} ({k})" for s, p, k in hits)
+            )
+        report = scrub_database(db, registry)
+        if args.repair:
+            repair_database(db, report)
+            registry.counter("fsck.pages_repaired").inc(report.repaired_pages)
+            registry.counter("fsck.pages_quarantined").inc(
+                report.quarantined_pages
+            )
+    if args.json:
+        print(json.dumps(report.to_json(), indent=2, sort_keys=True))
+    else:
+        for note in notes:
+            print(note)
+        print(report.to_text())
+    return 0 if report.ok else 1
 
 
 def _cmd_info(args) -> int:
@@ -484,6 +607,10 @@ def _cmd_info(args) -> int:
         raise ReproError(f"{path} is not a database directory")
     with Database(path) as db:
         print(f"database: {path}")
+        print(
+            f"page format: v{db.page_format} "
+            + ("(checksummed)" if db.checksums else "(no checksums)")
+        )
         for name in db.segment_names():
             pages = db.segment_pages(name)
             print(f"  {name:<16} {pages:>6} pages  "

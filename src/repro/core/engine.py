@@ -38,6 +38,14 @@ Robustness knobs (all per-engine):
   cheaper approximation makes the base mesh a legitimate answer), and
   the outcome is flagged ``degraded``.  Non-degradable requests get a
   :class:`~repro.errors.DeadlineExceededError` outcome.
+* **corruption quarantine** — a
+  :class:`~repro.errors.PageCorruptionError` is *never* retried at
+  the same page (re-reading rot returns the same bytes): the page id
+  enters a bounded :class:`~repro.storage.integrity.PageQuarantine`
+  (:attr:`QueryEngine.quarantine`), ``engine.corruptions`` is
+  recorded, and uniform groups take the same base-mesh degradation
+  path as a deadline miss — the batch keeps serving while an operator
+  runs ``python -m repro fsck --repair``.
 
 Results are byte-identical to the sequential query processors in
 :mod:`repro.core.query` (same nodes, same ``retrieved`` count) in the
@@ -76,12 +84,14 @@ from repro.core.query import (
 from repro.errors import (
     DeadlineExceededError,
     InvariantError,
+    PageCorruptionError,
     QueryError,
     TransientIOError,
 )
 from repro.geometry.plane import QueryPlane
 from repro.geometry.primitives import Box3, Rect
 from repro.obs.metrics import MetricsRegistry
+from repro.storage.integrity import PageQuarantine
 from repro.storage.record import DMNodeColumns, DMNodeRecord
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -262,6 +272,8 @@ class QueryEngine:
         vectorized: fetch records as columnar pages and run the
             numpy filter kernels (the default); ``False`` keeps the
             scalar per-record reference path.
+        quarantine_cap: bound on the corrupt-page quarantine set (see
+            :attr:`quarantine`); oldest entries fall off first.
     """
 
     def __init__(
@@ -276,6 +288,7 @@ class QueryEngine:
         degrade: bool = True,
         cache: SemanticCache | None = None,
         vectorized: bool = True,
+        quarantine_cap: int = 256,
     ) -> None:
         if workers < 1:
             raise QueryError(f"workers must be >= 1, got {workers}")
@@ -305,6 +318,10 @@ class QueryEngine:
         # columnar fetch path even when ``vectorized`` is off.
         self._columnar = vectorized or cache is not None
         self.registry = registry if registry is not None else MetricsRegistry()
+        #: Bounded set of ``(segment, page)`` ids that failed checksum
+        #: verification while serving.  Thread-safe; cleared by
+        #: :meth:`clear_quarantine` after an offline repair.
+        self.quarantine = PageQuarantine(quarantine_cap)
         self._pool = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="repro-engine"
         )
@@ -546,6 +563,10 @@ class QueryEngine:
                 return self._deadline_outcomes(group, attempts)
             try:
                 outcomes = self._execute_group(group)
+            except PageCorruptionError as exc:
+                # Never retried: re-reading a rotten page returns the
+                # same bytes.  Quarantine it and serve degraded.
+                return self._corruption_outcomes(group, exc, attempts)
             except TransientIOError as exc:
                 if attempts > self._retries:
                     return self._error_outcomes(group, exc, attempts)
@@ -645,6 +666,39 @@ class QueryEngine:
         return outcomes
 
     # -- failure paths -----------------------------------------------------
+
+    def clear_quarantine(self) -> None:
+        """Forget quarantined pages (call after ``fsck --repair``)."""
+        self.quarantine.clear()
+
+    def _corruption_outcomes(
+        self, group: _Group, error: PageCorruptionError, attempts: int
+    ) -> list[QueryOutcome]:
+        """Handle a group that hit a corrupt page: quarantine the page,
+        then degrade uniform groups to the base mesh (like a deadline
+        miss) or fail the group's requests in isolation."""
+        registry = self.registry
+        registry.counter("engine.corruptions").inc()
+        segment = error.context.get("segment")
+        page = error.context.get("page")
+        if isinstance(segment, str) and isinstance(page, int):
+            self.quarantine.add(segment, page)
+        degradable = self._degrade and all(
+            isinstance(request, UniformRequest)
+            for request in group.requests
+        )
+        if degradable:
+            try:
+                outcomes = self._execute_degraded(group)
+            except Exception:  # The base mesh may be corrupt too.
+                degradable = False
+            else:
+                registry.counter("engine.degraded").inc(len(group.requests))
+                for outcome in outcomes:
+                    outcome.attempts = attempts
+                    outcome.degraded = True
+                return outcomes
+        return self._error_outcomes(group, error, attempts)
 
     def _error_outcomes(
         self, group: _Group, error: Exception, attempts: int

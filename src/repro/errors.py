@@ -104,6 +104,22 @@ class PageError(StorageError):
     """A page-level failure (bad page id, overflow, corrupt header)."""
 
 
+class PageCorruptionError(StorageError):
+    """A page failed checksum verification on read.
+
+    Raised by :meth:`repro.storage.pager.Pager.read_page` when a v2
+    (checksummed) page's CRC trailer does not match its contents —
+    bit rot, a torn write, or zeroed sectors.  Context carries
+    ``segment``, ``page``, ``expected`` and ``actual`` checksums.
+
+    Deliberately **not** a :class:`TransientIOError`: re-reading a
+    rotten page returns the same bytes, so the query engine must not
+    retry it — it quarantines the page and degrades instead (see
+    :class:`repro.core.engine.QueryEngine`).  Repair goes through
+    ``python -m repro fsck --repair``.
+    """
+
+
 class BufferPoolError(StorageError):
     """The buffer pool was used inconsistently (e.g. over-pinning)."""
 

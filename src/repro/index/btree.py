@@ -37,7 +37,7 @@ class BPlusTree:
 
     def __init__(self, segment: Segment) -> None:
         self._segment = segment
-        page = segment.page_size
+        page = segment.payload_size
         self._leaf_cap = (page - _HEADER.size) // _LEAF_ENTRY.size
         self._internal_cap = (page - _HEADER.size - _CHILD.size) // (
             _KEY.size + _CHILD.size

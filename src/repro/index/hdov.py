@@ -251,7 +251,7 @@ class HDoVTree:
     ) -> None:
         """Fetch an entire node mesh (points then triangles)."""
         result.versions_read += 1
-        rec_per_page = (self._data.page_size - _DATA_HEADER.size) // PM_RECORD_SIZE
+        rec_per_page = (self._data.payload_size - _DATA_HEADER.size) // PM_RECORD_SIZE
         point_pages = -(-version.count // rec_per_page) if version.count else 0
         in_roi: set[int] = set()
         for i in range(version.n_pages):
@@ -355,10 +355,10 @@ class _Builder:
         self._thresholds = thresholds
         self._bounds = Rect.from_points(n for n in pm.nodes)
         self._records_per_page = (
-            data_seg.page_size - _DATA_HEADER.size
+            data_seg.payload_size - _DATA_HEADER.size
         ) // PM_RECORD_SIZE
         self._tris_per_page = (
-            data_seg.page_size - _DATA_HEADER.size
+            data_seg.payload_size - _DATA_HEADER.size
         ) // _TRIANGLE.size
         # Per level: the cut's node buckets by tile and its triangles
         # bucketed by centroid tile.

@@ -55,7 +55,7 @@ class LodQuadtree:
 
     def __init__(self, segment: Segment) -> None:
         self._segment = segment
-        self._leaf_cap = (segment.page_size - _HEADER.size) // _POINT.size
+        self._leaf_cap = (segment.payload_size - _HEADER.size) // _POINT.size
         if segment.n_pages == 0:
             meta_no, _ = segment.allocate()
             if meta_no != 0:

@@ -106,7 +106,7 @@ class RStarTree:
 
     def __init__(self, segment: Segment) -> None:
         self._segment = segment
-        self._capacity = (segment.page_size - _NODE_HEADER.size) // _ENTRY.size
+        self._capacity = (segment.payload_size - _NODE_HEADER.size) // _ENTRY.size
         self._min_entries = max(2, int(self._capacity * _MIN_FILL))
         if segment.n_pages == 0:
             self._bootstrap()

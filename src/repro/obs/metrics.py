@@ -55,6 +55,7 @@ METRIC_NAMES: frozenset[str] = frozenset(
         "engine.demotions",
         "engine.deadline_misses",
         "engine.degraded",
+        "engine.corruptions",
         "engine.index_s",
         "engine.fetch_s",
         "engine.filter_s",
@@ -73,6 +74,12 @@ METRIC_NAMES: frozenset[str] = frozenset(
         # -- benchmark harness ---------------------------------------------
         "bench.cold_query_s",
         "bench.batch_s",
+        # -- storage integrity ---------------------------------------------
+        "storage.crc_failures",
+        "fsck.pages_scanned",
+        "fsck.pages_corrupt",
+        "fsck.pages_repaired",
+        "fsck.pages_quarantined",
     }
 )
 

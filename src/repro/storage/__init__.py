@@ -14,14 +14,33 @@ Layers, bottom up:
   with RID addressing on slotted pages;
 * :mod:`repro.storage.record` — PM / DM node codecs;
 * :class:`~repro.storage.stats.DiskStats` — the disk-access counters
-  standing in for Oracle's performance statistics report.
+  standing in for Oracle's performance statistics report;
+* :mod:`repro.storage.integrity` — page checksum scrub / repair /
+  quarantine (``python -m repro fsck``).
 """
 
 from repro.storage.buffer import DEFAULT_POOL_PAGES, BufferPool
 from repro.storage.database import Database, Segment
 from repro.storage.faults import FaultInjector
 from repro.storage.heapfile import HeapFile, pack_rid, unpack_rid
-from repro.storage.page import DEFAULT_PAGE_SIZE, SlottedPage
+from repro.storage.integrity import (
+    FsckReport,
+    PageFault,
+    PageQuarantine,
+    archive_pages,
+    inject_corruption,
+    repair_database,
+    scrub_database,
+)
+from repro.storage.page import (
+    CHECKSUM_SIZE,
+    DEFAULT_PAGE_SIZE,
+    PAGE_FORMAT_V1,
+    PAGE_FORMAT_V2,
+    SlottedPage,
+    seal_page,
+    verify_page,
+)
 from repro.storage.pager import Pager
 from repro.storage.record import (
     DMNodeRecord,
@@ -39,21 +58,28 @@ from repro.storage.wal import WriteAheadLog
 
 __all__ = [
     "BufferPool",
+    "CHECKSUM_SIZE",
     "DEFAULT_PAGE_SIZE",
     "DEFAULT_POOL_PAGES",
     "DMNodeRecord",
     "Database",
     "DiskStats",
     "FaultInjector",
+    "FsckReport",
     "HeapFile",
     "IOTrace",
     "IOTracer",
+    "PAGE_FORMAT_V1",
+    "PAGE_FORMAT_V2",
     "PM_RECORD_SIZE",
+    "PageFault",
+    "PageQuarantine",
     "Pager",
     "Segment",
     "SlottedPage",
     "StatsSnapshot",
     "WriteAheadLog",
+    "archive_pages",
     "decode_dm_node",
     "decode_id_list",
     "decode_pm_node",
@@ -61,6 +87,11 @@ __all__ = [
     "encode_id_list",
     "encode_dm_node",
     "encode_pm_node",
+    "inject_corruption",
     "pack_rid",
+    "repair_database",
+    "scrub_database",
+    "seal_page",
     "unpack_rid",
+    "verify_page",
 ]

@@ -150,6 +150,18 @@ class BufferPool:
                 )
             frame.dirty = True
 
+    def drop(self, pager: Pager, page_no: int) -> None:
+        """Forget a cached page *without* writing it back.
+
+        Recovery and repair write page images straight through the
+        pager (:meth:`Pager.write_page`); any stale frame — possibly
+        dirty, possibly holding pre-crash bytes — must not overwrite
+        the restored image on a later flush.  A no-op when the page is
+        not resident.
+        """
+        with self._latch:
+            self._frames.pop((pager.name, page_no), None)
+
     # -- maintenance ------------------------------------------------------------
 
     def flush(self) -> None:

@@ -7,10 +7,20 @@ the shared :class:`~repro.storage.stats.DiskStats`, the
 file).  Higher layers (heap files, B+-trees, spatial indexes) operate
 on :class:`Segment` handles, which route all page traffic through the
 buffer pool so that disk-access accounting is uniform.
+
+**Page formats.**  The directory carries a ``storage_meta.json`` flag
+recording the page format: v2 (the default for new databases) seals
+every page with a crc32 trailer verified on read; v1 is the historical
+unchecksummed layout.  A directory with segment files but no flag is a
+legacy v1 database and keeps working unchanged — reads are never
+verified and the full page is usable.  Layout code must size itself to
+:attr:`Segment.payload_size`, which is ``page_size`` minus the trailer
+under v2 and the full page under v1.
 """
 
 from __future__ import annotations
 
+import json
 import shutil
 from contextlib import contextmanager
 from pathlib import Path
@@ -18,14 +28,22 @@ from typing import TYPE_CHECKING, Iterator
 
 from repro.errors import StorageError
 from repro.storage.buffer import DEFAULT_POOL_PAGES, BufferPool
-from repro.storage.page import DEFAULT_PAGE_SIZE
+from repro.storage.page import (
+    DEFAULT_PAGE_SIZE,
+    PAGE_FORMAT_V1,
+    PAGE_FORMAT_V2,
+)
 from repro.storage.pager import Pager
 from repro.storage.stats import DiskStats
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.metrics import MetricsRegistry
     from repro.storage.faults import FaultInjector
 
-__all__ = ["Database", "Segment"]
+__all__ = ["Database", "Segment", "STORAGE_META_FILENAME"]
+
+#: Sidecar file recording the database's page format.
+STORAGE_META_FILENAME = "storage_meta.json"
 
 
 class Segment:
@@ -42,8 +60,14 @@ class Segment:
 
     @property
     def page_size(self) -> int:
-        """Bytes per page."""
+        """Bytes per page on disk (including any checksum trailer)."""
         return self._pager.page_size
+
+    @property
+    def payload_size(self) -> int:
+        """Bytes per page usable by layout code (see
+        :attr:`repro.storage.pager.Pager.payload_size`)."""
+        return self._pager.payload_size
 
     @property
     def n_pages(self) -> int:
@@ -54,6 +78,15 @@ class Segment:
         """The (cached) buffer for ``page_no``."""
         return self._buffer.fetch(self._pager, page_no)
 
+    def read_raw(self, page_no: int) -> bytearray:
+        """Read ``page_no`` from disk, bypassing the buffer pool.
+
+        Always performs (and verifies, under v2) a physical read — the
+        scrub path: ``fsck`` must look at what is *on disk*, not at a
+        warm frame, and must not pollute the pool while doing so.
+        """
+        return self._pager.read_page(page_no)
+
     def allocate(self) -> tuple[int, bytearray]:
         """Allocate a new page; returns ``(page_no, buffer)``.
 
@@ -63,6 +96,16 @@ class Segment:
         data = bytearray(self._pager.page_size)
         self._buffer.put_new(self._pager, page_no, data)
         return page_no, data
+
+    def write_page_image(self, page_no: int, data: bytes | bytearray) -> None:
+        """Write a full page image straight through the pager.
+
+        The recovery/repair path: never read-modify-write (the target
+        page may be torn or corrupt), and drop any cached frame so a
+        stale buffer cannot overwrite the restored image later.
+        """
+        self._buffer.drop(self._pager, page_no)
+        self._pager.write_page(page_no, data)
 
     def mark_dirty(self, page_no: int) -> None:
         """Flag a fetched page as modified."""
@@ -83,6 +126,16 @@ class Database:
         fault_injector: a :class:`~repro.storage.faults.FaultInjector`
             installed on every segment's physical-read path (see
             :meth:`set_fault_injector`); ``None`` disables injection.
+        page_format: force a page format for a *new* database
+            (:data:`~repro.storage.page.PAGE_FORMAT_V1` or
+            :data:`~repro.storage.page.PAGE_FORMAT_V2`).  ``None``
+            (the default) uses the on-disk flag of an existing
+            database — legacy directories without a flag are v1 — and
+            v2 for new ones.  Opening an existing database with a
+            conflicting explicit format raises.
+        recover: replay/discard a leftover write-ahead log on open
+            (the default).  ``fsck`` opens with ``False`` to diagnose
+            the directory exactly as the crash left it.
     """
 
     def __init__(
@@ -93,20 +146,81 @@ class Database:
         overwrite: bool = False,
         io_latency: float = 0.0,
         fault_injector: "FaultInjector | None" = None,
+        page_format: int | None = None,
+        recover: bool = True,
     ) -> None:
         self.path = Path(path)
         if overwrite and self.path.exists():
             shutil.rmtree(self.path)
         self.path.mkdir(parents=True, exist_ok=True)
         self.page_size = page_size
+        self.page_format = self._resolve_page_format(page_format)
+        self.checksums = self.page_format >= PAGE_FORMAT_V2
         self.stats = DiskStats()
         self.buffer = BufferPool(self.stats, pool_pages)
         self._io_latency = io_latency
         self._fault_injector = fault_injector
+        self._metrics: "MetricsRegistry | None" = None
         self._pagers: dict[str, Pager] = {}
         self._closed = False
         self._wal = None
-        self._recover_if_needed()
+        if recover:
+            self._recover_if_needed()
+
+    def _resolve_page_format(self, requested: int | None) -> int:
+        """Determine the page format, writing the flag for new dbs."""
+        if requested is not None and requested not in (
+            PAGE_FORMAT_V1,
+            PAGE_FORMAT_V2,
+        ):
+            raise StorageError(
+                f"unknown page format {requested}",
+                path=str(self.path),
+            )
+        meta_path = self.path / STORAGE_META_FILENAME
+        if meta_path.exists():
+            try:
+                meta = json.loads(meta_path.read_text(encoding="utf-8"))
+                on_disk = int(meta["page_format"])
+                meta_page_size = int(meta.get("page_size", self.page_size))
+            except (ValueError, KeyError, TypeError) as exc:
+                raise StorageError(
+                    f"unreadable storage metadata: {exc}",
+                    path=str(meta_path),
+                ) from exc
+            if requested is not None and requested != on_disk:
+                raise StorageError(
+                    f"database is page format v{on_disk}, "
+                    f"but v{requested} was requested",
+                    path=str(self.path),
+                )
+            if meta_page_size != self.page_size:
+                raise StorageError(
+                    f"database was built with page_size "
+                    f"{meta_page_size}, opened with {self.page_size}",
+                    path=str(self.path),
+                )
+            return on_disk
+        if any(self.path.glob("*.seg")):
+            # Legacy database (pre-dates the format flag): its pages
+            # carry no checksum trailer and must be read as v1.
+            if requested is not None and requested != PAGE_FORMAT_V1:
+                raise StorageError(
+                    "existing database has no storage metadata "
+                    "(legacy v1); cannot open as v2",
+                    path=str(self.path),
+                )
+            return PAGE_FORMAT_V1
+        fmt = requested if requested is not None else PAGE_FORMAT_V2
+        meta_path.write_text(
+            json.dumps(
+                {"page_format": fmt, "page_size": self.page_size},
+                sort_keys=True,
+            )
+            + "\n",
+            encoding="utf-8",
+        )
+        return fmt
 
     def _recover_if_needed(self) -> None:
         """Replay or discard a leftover write-ahead log on open."""
@@ -133,12 +247,28 @@ class Database:
                 self.stats,
                 name=name,
                 page_size=self.page_size,
+                checksums=self.checksums,
             )
             pager.wal = self._wal  # Join any active atomic scope.
             pager.io_latency = self._io_latency
             pager.fault_injector = self._fault_injector
+            pager.metrics = self._metrics
             self._pagers[name] = pager
         return Segment(pager, self.buffer)
+
+    @property
+    def payload_size(self) -> int:
+        """Usable bytes per page under the database's page format."""
+        from repro.storage.page import CHECKSUM_SIZE
+
+        if self.checksums:
+            return self.page_size - CHECKSUM_SIZE
+        return self.page_size
+
+    @property
+    def crc_failures(self) -> int:
+        """Checksum mismatches across every open segment."""
+        return sum(p.crc_failures for p in self._pagers.values())
 
     def set_io_latency(self, seconds: float) -> None:
         """Set the simulated read latency on every (current and
@@ -160,6 +290,19 @@ class Database:
         self._fault_injector = injector
         for pager in self._pagers.values():
             pager.fault_injector = injector
+
+    def set_metrics_registry(
+        self, registry: "MetricsRegistry | None"
+    ) -> None:
+        """Install (or with ``None``, remove) a metrics registry on
+        every current and future segment.
+
+        Today the pagers report only ``storage.crc_failures`` through
+        it; the disk-access counters stay in :attr:`stats`.
+        """
+        self._metrics = registry
+        for pager in self._pagers.values():
+            pager.metrics = registry
 
     def has_segment(self, name: str) -> bool:
         """True if the segment file exists on disk."""

@@ -8,21 +8,29 @@ seedable pseudo-randomness, injects
 
 * **transient read errors** — :class:`~repro.errors.TransientIOError`,
   the retryable failure class the query engine's retry loop is built
-  around; and
+  around;
 * **latency spikes** — an extra sleep on a fraction of reads,
   emulating a device hiccup (the sleep releases the GIL, like real
-  I/O).
+  I/O); and
+* **page corruption** — in-flight mutation of page bytes at the sites
+  ``corrupt.bitflip`` (one flipped bit), ``corrupt.torn`` (a torn
+  write: the page tail zeroed from a random cut) and ``corrupt.zero``
+  (the whole page zeroed).  Under the v2 page format the pager's
+  checksum then fails the read with
+  :class:`~repro.errors.PageCorruptionError` — the *non*-retryable
+  counterpart the quarantine path is built around.
 
 Determinism: the decision sequence is a pure function of the seed and
 the order of calls, so a single-threaded test replays identically.
 Under a thread pool the per-call decisions are still drawn from one
 seeded stream (guarded by a lock); only their assignment to threads
 varies — aggregate counts stay reproducible in expectation and every
-injected error is counted in :attr:`errors_injected`.
+injected error is counted in :attr:`errors_injected` (corruptions in
+:attr:`corruptions_injected`).
 
 Usage::
 
-    injector = FaultInjector(error_rate=0.05, seed=7)
+    injector = FaultInjector(error_rate=0.05, corrupt_rate=0.02, seed=7)
     database.set_fault_injector(injector)
     ...
     print(injector.errors_injected, "faults over", injector.calls, "reads")
@@ -35,8 +43,41 @@ import threading
 import time
 
 from repro.errors import StorageError, TransientIOError
+from repro.storage.page import verify_page
 
-__all__ = ["FaultInjector"]
+__all__ = ["CORRUPTION_KINDS", "FaultInjector", "corrupt_buffer"]
+
+#: Supported page-corruption kinds (fault sites ``corrupt.<kind>``).
+CORRUPTION_KINDS = ("bitflip", "torn", "zero")
+
+
+def corrupt_buffer(
+    buffer: bytearray, kind: str, rng: random.Random
+) -> None:
+    """Mutate ``buffer`` in place with a ``kind`` corruption.
+
+    The mutation is guaranteed to invalidate a sealed v2 page: in the
+    pathological case where the random damage leaves the crc trailer
+    consistent (e.g. a tear past every live byte), the first payload
+    byte is flipped as well.
+    """
+    if kind not in CORRUPTION_KINDS:
+        raise StorageError(
+            f"unknown corruption kind {kind!r}; "
+            f"expected one of {CORRUPTION_KINDS}"
+        )
+    if not buffer:
+        raise StorageError("cannot corrupt an empty page buffer")
+    if kind == "bitflip":
+        bit = rng.randrange(len(buffer) * 8)
+        buffer[bit // 8] ^= 1 << (bit % 8)
+    elif kind == "torn":
+        cut = rng.randrange(len(buffer))
+        buffer[cut:] = bytes(len(buffer) - cut)
+    else:  # zero
+        buffer[:] = bytes(len(buffer))
+    if verify_page(buffer):  # Damage landed harmlessly: force a mismatch.
+        buffer[0] ^= 0xFF
 
 
 class FaultInjector:
@@ -48,11 +89,18 @@ class FaultInjector:
         latency_rate: probability in ``[0, 1]`` that a read sleeps for
             ``latency_s`` before proceeding.
         latency_s: duration of an injected latency spike in seconds.
+        corrupt_rate: probability in ``[0, 1]`` that a physical page
+            read has its bytes corrupted in flight (see
+            :meth:`corrupt_page`).
+        corrupt_kinds: the corruption kinds to draw from, a subset of
+            :data:`CORRUPTION_KINDS`.
         seed: seeds the private PRNG; equal seeds replay equal
             decision sequences.
         max_errors: stop injecting *errors* after this many (latency
             spikes are unaffected); ``None`` means unbounded.  Useful
             for scripting "exactly one failure" scenarios.
+        max_corruptions: stop corrupting pages after this many;
+            ``None`` means unbounded.
     """
 
     def __init__(
@@ -60,8 +108,11 @@ class FaultInjector:
         error_rate: float = 0.0,
         latency_rate: float = 0.0,
         latency_s: float = 0.0,
+        corrupt_rate: float = 0.0,
+        corrupt_kinds: tuple[str, ...] = CORRUPTION_KINDS,
         seed: int = 0,
         max_errors: int | None = None,
+        max_corruptions: int | None = None,
     ) -> None:
         if not 0.0 <= error_rate <= 1.0:
             raise StorageError(
@@ -73,16 +124,32 @@ class FaultInjector:
             )
         if latency_s < 0.0:
             raise StorageError(f"latency_s must be >= 0, got {latency_s}")
+        if not 0.0 <= corrupt_rate <= 1.0:
+            raise StorageError(
+                f"corrupt_rate must be in [0, 1], got {corrupt_rate}"
+            )
+        if not corrupt_kinds or not set(corrupt_kinds) <= set(
+            CORRUPTION_KINDS
+        ):
+            raise StorageError(
+                f"corrupt_kinds must be a non-empty subset of "
+                f"{CORRUPTION_KINDS}, got {corrupt_kinds}"
+            )
         self.error_rate = error_rate
         self.latency_rate = latency_rate
         self.latency_s = latency_s
+        self.corrupt_rate = corrupt_rate
+        self.corrupt_kinds = tuple(corrupt_kinds)
         self.max_errors = max_errors
+        self.max_corruptions = max_corruptions
         self._seed = seed
         self._lock = threading.Lock()
         self._rng = random.Random(seed)
         self.calls = 0
         self.errors_injected = 0
         self.latencies_injected = 0
+        self.corruptions_injected = 0
+        self.corruptions_by_kind: dict[str, int] = {}
 
     def reset(self, seed: int | None = None) -> None:
         """Zero the counters and restart the decision stream."""
@@ -93,6 +160,8 @@ class FaultInjector:
             self.calls = 0
             self.errors_injected = 0
             self.latencies_injected = 0
+            self.corruptions_injected = 0
+            self.corruptions_by_kind = {}
 
     def fire(self, site: str, detail: str = "") -> None:
         """Consult the injector at an instrumented read site.
@@ -128,10 +197,45 @@ class FaultInjector:
         if spike and self.latency_s > 0.0:
             time.sleep(self.latency_s)
 
+    def corrupt_page(self, buffer: bytearray, detail: str = "") -> str | None:
+        """Maybe corrupt a freshly read page image in place.
+
+        Called by :meth:`~repro.storage.pager.Pager.read_page` after
+        the bytes arrive and *before* checksum verification, so every
+        corruption of a v2 page is caught by exactly one crc failure
+        (``storage.crc_failures`` tracks :attr:`corruptions_injected`
+        one to one).  Returns the corruption kind, or ``None`` when
+        the page was left intact.
+        """
+        if self.corrupt_rate <= 0.0:
+            return None
+        with self._lock:
+            if (
+                self.max_corruptions is not None
+                and self.corruptions_injected >= self.max_corruptions
+            ):
+                return None
+            if self._rng.random() >= self.corrupt_rate:
+                return None
+            kind = self.corrupt_kinds[
+                self._rng.randrange(len(self.corrupt_kinds))
+            ]
+            self.corruptions_injected += 1
+            self.corruptions_by_kind[kind] = (
+                self.corruptions_by_kind.get(kind, 0) + 1
+            )
+            # Mutate under the lock: the damage parameters come from
+            # the shared PRNG stream, keeping replays deterministic.
+            corrupt_buffer(buffer, kind, self._rng)
+        return kind
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"FaultInjector(error_rate={self.error_rate}, "
             # reprolint: disable=R1 debug repr tolerates a torn seed read
             f"latency_rate={self.latency_rate}, seed={self._seed}, "
-            f"errors={self.errors_injected}/{self.calls})"
+            # reprolint: disable=R1 debug repr tolerates torn counters
+            f"errors={self.errors_injected}/{self.calls}, "
+            # reprolint: disable=R1 debug repr tolerates torn counters
+            f"corruptions={self.corruptions_injected})"
         )

@@ -58,13 +58,13 @@ class HeapFile:
         """Append a record; returns its RID."""
         if self._tail_page is not None:
             buf = self._segment.fetch(self._tail_page)
-            page = SlottedPage(buf, self._segment.page_size)
+            page = SlottedPage(buf, self._segment.payload_size)
             if page.can_fit(len(payload)):
                 slot = page.insert(payload)
                 self._segment.mark_dirty(self._tail_page)
                 return pack_rid(self._tail_page, slot)
         page_no, buf = self._segment.allocate()
-        page = SlottedPage.format(buf, self._segment.page_size)
+        page = SlottedPage.format(buf, self._segment.payload_size)
         if not page.can_fit(len(payload)):
             raise StorageError(
                 f"record of {len(payload)} bytes cannot fit on an empty page"
@@ -82,7 +82,7 @@ class HeapFile:
         """Delete the record at ``rid``."""
         page_no, slot = unpack_rid(rid)
         buf = self._segment.fetch(page_no)
-        SlottedPage(buf, self._segment.page_size).delete(slot)
+        SlottedPage(buf, self._segment.payload_size).delete(slot)
         self._segment.mark_dirty(page_no)
 
     # -- reads -------------------------------------------------------------------
@@ -91,7 +91,7 @@ class HeapFile:
         """The record payload at ``rid``."""
         page_no, slot = unpack_rid(rid)
         buf = self._segment.fetch(page_no)
-        return SlottedPage(buf, self._segment.page_size).read(slot)
+        return SlottedPage(buf, self._segment.payload_size).read(slot)
 
     def read_many(self, rids: Iterable[int]) -> list[bytes]:
         """Read several records, *sorted by page* to minimise I/O.
@@ -109,7 +109,7 @@ class HeapFile:
         """Iterate ``(rid, payload)`` over all live records."""
         for page_no in range(self._segment.n_pages):
             buf = self._segment.fetch(page_no)
-            page = SlottedPage(buf, self._segment.page_size)
+            page = SlottedPage(buf, self._segment.payload_size)
             for slot, payload in page.records():
                 yield pack_rid(page_no, slot), payload
 

@@ -1,0 +1,529 @@
+"""Storage scrub, repair and quarantine (``python -m repro fsck``).
+
+The paper's whole premise is that the multiresolution terrain model
+lives *on disk*; a silently rotten page therefore poisons every query
+whose interval touches it.  This module is the operational answer:
+
+* :func:`scrub_database` reads **every page of every segment** through
+  the pager (verifying v2 crc trailers on the way) and walks the
+  R*-tree segments structurally — child MBRs contained in their parent
+  entry, segment endpoints ``e_low <= e_high`` — producing a
+  machine-readable :class:`FsckReport`;
+* :func:`repair_database` restores corrupt pages from a committed
+  write-ahead log (see :meth:`WriteAheadLog.committed_records`) and
+  quarantines whatever the log cannot restore into a
+  ``quarantine.json`` sidecar;
+* :func:`archive_pages` snapshots a healthy database's pages into a
+  committed WAL — the repair source for scrub drills and operators
+  who want a restore point before risky maintenance;
+* :func:`inject_corruption` deliberately damages on-disk pages
+  (bitflip / torn / zero, seeded) for drills and the CI integrity
+  gate;
+* :class:`PageQuarantine` is the bounded, thread-safe set of known-bad
+  pages the query engine consults while serving degraded.
+
+This module is one of the three sanctioned homes of raw page I/O
+(reprolint rule R7): the corruption injector must write damaged bytes
+*around* the pager, which would refuse to produce them.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import struct
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.errors import PageCorruptionError, StorageError
+from repro.storage.faults import CORRUPTION_KINDS, corrupt_buffer
+from repro.storage.page import DEFAULT_PAGE_SIZE, verify_page
+from repro.storage.wal import WriteAheadLog
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.metrics import MetricsRegistry
+    from repro.storage.database import Database
+
+__all__ = [
+    "FsckReport",
+    "PageFault",
+    "PageQuarantine",
+    "QUARANTINE_FILENAME",
+    "archive_pages",
+    "inject_corruption",
+    "load_quarantine",
+    "repair_database",
+    "scrub_database",
+]
+
+#: Sidecar listing pages repair could not restore.
+QUARANTINE_FILENAME = "quarantine.json"
+
+# R*-tree on-disk layout (mirrors repro.index.rstar; the scrub parses
+# node pages tolerantly instead of instantiating the index, which
+# would raise on the first bad page).
+_RSTAR_META = struct.Struct("<4sIHQ6d")
+_RSTAR_MAGIC = b"RST1"
+_RSTAR_NODE_HEADER = struct.Struct("<BH")
+_RSTAR_ENTRY = struct.Struct("<6dQ")
+
+
+class PageQuarantine:
+    """A bounded, thread-safe set of ``(segment, page)`` ids known bad.
+
+    The query engine adds a page here when a read fails checksum
+    verification; the bound keeps a corruption storm from growing the
+    set without limit (oldest entries fall off first — if corruption
+    is that widespread, serving degraded per-page bookkeeping no
+    longer matters and ``fsck`` is the tool).
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise StorageError(
+                f"quarantine capacity must be >= 1, got {capacity}"
+            )
+        self._capacity = capacity
+        self._lock = threading.Lock()
+        self._pages: OrderedDict[tuple[str, int], None] = OrderedDict()
+
+    def add(self, segment: str, page: int) -> bool:
+        """Record a bad page; returns True when it is newly seen."""
+        key = (segment, page)
+        with self._lock:
+            if key in self._pages:
+                self._pages.move_to_end(key)
+                return False
+            while len(self._pages) >= self._capacity:
+                self._pages.popitem(last=False)
+            self._pages[key] = None
+            return True
+
+    def __contains__(self, key: tuple[str, int]) -> bool:
+        with self._lock:
+            return key in self._pages
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._pages)
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of tracked pages."""
+        return self._capacity
+
+    def snapshot(self) -> list[tuple[str, int]]:
+        """The quarantined pages, oldest first."""
+        with self._lock:
+            return list(self._pages)
+
+    def clear(self) -> None:
+        """Forget every quarantined page (call after a repair)."""
+        with self._lock:
+            self._pages.clear()
+
+
+@dataclass
+class PageFault:
+    """One page that failed checksum verification."""
+
+    segment: str
+    page: int
+    expected: int | None = None
+    actual: int | None = None
+    repaired: bool = False
+    quarantined: bool = False
+
+    def to_json(self) -> dict[str, object]:
+        """JSON-ready representation."""
+        return {
+            "segment": self.segment,
+            "page": self.page,
+            "expected": self.expected,
+            "actual": self.actual,
+            "repaired": self.repaired,
+            "quarantined": self.quarantined,
+        }
+
+
+@dataclass
+class FsckReport:
+    """Outcome of a scrub (and optional repair) pass."""
+
+    path: str
+    page_format: int
+    checksummed: bool
+    segments_scanned: int = 0
+    pages_scanned: int = 0
+    corrupt: list[PageFault] = field(default_factory=list)
+    structural: list[str] = field(default_factory=list)
+    repair_attempted: bool = False
+
+    @property
+    def corrupt_pages(self) -> int:
+        """Number of pages that failed checksum verification."""
+        return len(self.corrupt)
+
+    @property
+    def repaired_pages(self) -> int:
+        """Pages restored from the write-ahead log."""
+        return sum(1 for fault in self.corrupt if fault.repaired)
+
+    @property
+    def quarantined_pages(self) -> int:
+        """Pages repair could not restore."""
+        return sum(1 for fault in self.corrupt if fault.quarantined)
+
+    @property
+    def ok(self) -> bool:
+        """True when the database is (now) fully intact."""
+        return not self.structural and all(
+            fault.repaired for fault in self.corrupt
+        )
+
+    def to_json(self) -> dict[str, object]:
+        """Machine-readable summary (the ``fsck --json`` payload)."""
+        return {
+            "path": self.path,
+            "page_format": self.page_format,
+            "checksummed": self.checksummed,
+            "ok": self.ok,
+            "segments_scanned": self.segments_scanned,
+            "pages_scanned": self.pages_scanned,
+            "corrupt_pages": self.corrupt_pages,
+            "repaired_pages": self.repaired_pages,
+            "quarantined_pages": self.quarantined_pages,
+            "repair_attempted": self.repair_attempted,
+            "corrupt": [fault.to_json() for fault in self.corrupt],
+            "structural": list(self.structural),
+        }
+
+    def to_text(self) -> str:
+        """A printable report."""
+        lines = [
+            f"fsck {self.path}: " + ("OK" if self.ok else "PROBLEMS FOUND"),
+            f"  page format: v{self.page_format}"
+            + ("" if self.checksummed else " (unchecksummed; crc scan skipped)"),
+            f"  segments scanned: {self.segments_scanned}",
+            f"  pages scanned: {self.pages_scanned}",
+            f"  corrupt pages: {self.corrupt_pages}",
+        ]
+        if self.repair_attempted:
+            lines.append(f"  repaired from WAL: {self.repaired_pages}")
+            lines.append(f"  quarantined: {self.quarantined_pages}")
+        for fault in self.corrupt[:50]:
+            state = (
+                "repaired"
+                if fault.repaired
+                else "quarantined"
+                if fault.quarantined
+                else "corrupt"
+            )
+            lines.append(f"  !! {fault.segment} page {fault.page}: {state}")
+        if len(self.corrupt) > 50:
+            lines.append(f"  ... and {len(self.corrupt) - 50} more")
+        for problem in self.structural[:50]:
+            lines.append(f"  !! structure: {problem}")
+        if len(self.structural) > 50:
+            lines.append(
+                f"  ... and {len(self.structural) - 50} more structural"
+            )
+        return "\n".join(lines)
+
+
+def scrub_database(
+    database: "Database", registry: "MetricsRegistry | None" = None
+) -> FsckReport:
+    """Verify every page of every segment, plus R*-tree structure.
+
+    Pages are read through :meth:`Segment.read_raw` — straight from
+    disk, bypassing the buffer pool — so the scrub sees exactly what a
+    cold restart would.  On a v1 database the crc scan degenerates to
+    a readability check (no trailer to verify); the structural walk
+    runs either way.
+    """
+    report = FsckReport(
+        path=str(database.path),
+        page_format=database.page_format,
+        checksummed=database.checksums,
+    )
+    for name in database.segment_names():
+        segment = database.segment(name)
+        report.segments_scanned += 1
+        for page_no in range(segment.n_pages):
+            report.pages_scanned += 1
+            try:
+                segment.read_raw(page_no)
+            except PageCorruptionError as exc:
+                expected = exc.context.get("expected")
+                actual = exc.context.get("actual")
+                report.corrupt.append(
+                    PageFault(
+                        name,
+                        page_no,
+                        expected=expected
+                        if isinstance(expected, int)
+                        else None,
+                        actual=actual if isinstance(actual, int) else None,
+                    )
+                )
+    corrupt_keys = {(fault.segment, fault.page) for fault in report.corrupt}
+    for name in database.segment_names():
+        _scrub_rtree(database, name, corrupt_keys, report.structural)
+    if registry is not None:
+        registry.counter("fsck.pages_scanned").inc(report.pages_scanned)
+        registry.counter("fsck.pages_corrupt").inc(report.corrupt_pages)
+    return report
+
+
+def _read_page_tolerant(
+    database: "Database", name: str, page_no: int
+) -> bytes | None:
+    """A page's bytes, or ``None`` when it cannot be read intact."""
+    try:
+        return bytes(database.segment(name).read_raw(page_no))
+    except (PageCorruptionError, StorageError):
+        return None
+
+
+def _scrub_rtree(
+    database: "Database",
+    name: str,
+    corrupt_keys: set[tuple[str, int]],
+    problems: list[str],
+) -> None:
+    """Structural invariants of one R*-tree segment (no-op otherwise).
+
+    Tolerant by design: the index class raises on the first bad page,
+    but a scrub must keep walking and report everything it can reach.
+    Checks, per reachable node entry: well-formed boxes
+    (``min <= max`` on every axis, in particular ``e_low <= e_high``)
+    and child-MBR containment in the parent entry's box.
+    """
+    segment = database.segment(name)
+    if segment.n_pages == 0 or (name, 0) in corrupt_keys:
+        return
+    meta_raw = _read_page_tolerant(database, name, 0)
+    if meta_raw is None or len(meta_raw) < _RSTAR_META.size:
+        return
+    magic, root, height, _count, *_space = _RSTAR_META.unpack_from(
+        meta_raw, 0
+    )
+    if magic != _RSTAR_MAGIC:
+        return  # Not an R*-tree segment.
+    payload = segment.payload_size
+    max_entries = (payload - _RSTAR_NODE_HEADER.size) // _RSTAR_ENTRY.size
+    visited: set[int] = set()
+    # (page_no, expected level, parent entry box or None for the root)
+    stack: list[tuple[int, int, tuple[float, ...] | None]] = [
+        (root, height, None)
+    ]
+    while stack:
+        page_no, level, parent_box = stack.pop()
+        if page_no in visited:
+            problems.append(
+                f"{name}: node page {page_no} reachable twice (cycle?)"
+            )
+            continue
+        visited.add(page_no)
+        if not 0 < page_no < segment.n_pages:
+            problems.append(
+                f"{name}: child pointer to page {page_no} out of range"
+            )
+            continue
+        if (name, page_no) in corrupt_keys:
+            continue  # Already reported by the crc scan.
+        raw = _read_page_tolerant(database, name, page_no)
+        if raw is None:
+            problems.append(f"{name}: node page {page_no} unreadable")
+            continue
+        is_leaf, count = _RSTAR_NODE_HEADER.unpack_from(raw, 0)
+        if count > max_entries:
+            problems.append(
+                f"{name}: node page {page_no} claims {count} entries "
+                f"(capacity {max_entries})"
+            )
+            continue
+        if bool(is_leaf) != (level == 1):
+            problems.append(
+                f"{name}: node page {page_no} leaf flag {bool(is_leaf)} "
+                f"at level {level}"
+            )
+        offset = _RSTAR_NODE_HEADER.size
+        for _ in range(count):
+            x0, y0, e0, x1, y1, e1, payload_val = _RSTAR_ENTRY.unpack_from(
+                raw, offset
+            )
+            offset += _RSTAR_ENTRY.size
+            if x0 > x1 or y0 > y1:
+                problems.append(
+                    f"{name}: page {page_no} entry has an inverted MBR"
+                )
+            if e0 > e1:
+                problems.append(
+                    f"{name}: page {page_no} entry violates "
+                    f"e_low <= e_high ({e0} > {e1})"
+                )
+            if parent_box is not None:
+                px0, py0, pe0, px1, py1, pe1 = parent_box
+                contained = (
+                    px0 <= x0
+                    and py0 <= y0
+                    and pe0 <= e0
+                    and x1 <= px1
+                    and y1 <= py1
+                    and e1 <= pe1
+                )
+                if not contained:
+                    problems.append(
+                        f"{name}: page {page_no} entry escapes its "
+                        f"parent MBR"
+                    )
+            if not is_leaf:
+                stack.append(
+                    (payload_val, level - 1, (x0, y0, e0, x1, y1, e1))
+                )
+
+
+def repair_database(database: "Database", report: FsckReport) -> FsckReport:
+    """Restore corrupt pages from a committed WAL; quarantine the rest.
+
+    Each fault in ``report.corrupt`` is looked up in the committed
+    write-ahead log (the crash-recovery log, or an operator snapshot
+    from :func:`archive_pages`).  A found image is written straight
+    through the pager — displacing any cached frame — and re-verified;
+    pages with no recoverable image are recorded in
+    ``quarantine.json``.  Mutates and returns ``report``.
+    """
+    report.repair_attempted = True
+    wal = WriteAheadLog(database.path, database.page_size)
+    records = wal.committed_records()
+    images: dict[tuple[str, int], bytes] = {}
+    if records is not None:
+        for seg_name, page_no, data in records:
+            images[(seg_name, page_no)] = data  # Last write wins.
+    for fault in report.corrupt:
+        image = images.get((fault.segment, fault.page))
+        if image is None:
+            fault.quarantined = True
+            continue
+        segment = database.segment(fault.segment)
+        while segment.n_pages <= fault.page:
+            segment.allocate()
+        segment.write_page_image(fault.page, image)
+        try:
+            segment.read_raw(fault.page)
+        except PageCorruptionError:
+            fault.quarantined = True  # The log image itself was bad.
+        else:
+            fault.repaired = True
+    quarantined = [fault for fault in report.corrupt if fault.quarantined]
+    if quarantined:
+        quarantine_path = Path(database.path) / QUARANTINE_FILENAME
+        quarantine_path.write_text(
+            json.dumps(
+                {
+                    "quarantined": [
+                        {"segment": fault.segment, "page": fault.page}
+                        for fault in quarantined
+                    ]
+                },
+                indent=2,
+                sort_keys=True,
+            )
+            + "\n",
+            encoding="utf-8",
+        )
+    return report
+
+
+def load_quarantine(directory: str | Path) -> list[tuple[str, int]]:
+    """The ``(segment, page)`` pairs quarantined by a past repair."""
+    path = Path(directory) / QUARANTINE_FILENAME
+    if not path.exists():
+        return []
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    return [
+        (str(entry["segment"]), int(entry["page"]))
+        for entry in payload.get("quarantined", [])
+    ]
+
+
+def archive_pages(database: "Database") -> Path:
+    """Snapshot every page of every segment into a committed WAL.
+
+    The snapshot uses the crash-recovery log format, so it doubles as
+    a repair source for ``fsck --repair`` — and a subsequent normal
+    :class:`Database` open will replay it (a no-op restore of the same
+    images) and remove it.  Take the snapshot while the database is
+    quiesced and healthy; a corrupt page fails the snapshot rather
+    than poisoning it.
+    """
+    wal = WriteAheadLog(database.path, database.page_size)
+    wal.begin()
+    try:
+        for name in database.segment_names():
+            segment = database.segment(name)
+            for page_no in range(segment.n_pages):
+                wal.log_page(
+                    name, page_no, bytes(segment.read_raw(page_no))
+                )
+        wal.commit()
+    finally:
+        wal.close(discard=False)
+    return wal.path
+
+
+def inject_corruption(
+    directory: str | Path,
+    n_pages: int,
+    seed: int = 0,
+    kinds: tuple[str, ...] = CORRUPTION_KINDS,
+    page_size: int = DEFAULT_PAGE_SIZE,
+) -> list[tuple[str, int, str]]:
+    """Corrupt ``n_pages`` distinct on-disk pages (a scrub drill).
+
+    Picks pages uniformly at random (seeded) across every segment file
+    and damages each with a random kind from ``kinds``.  Works on the
+    raw files — the database must be closed — and guarantees each
+    damaged page fails v2 verification.  Returns
+    ``(segment, page, kind)`` for every page hit, so drills can assert
+    the scrub finds *exactly* the injected set.
+    """
+    directory = Path(directory)
+    if n_pages < 1:
+        raise StorageError(f"n_pages must be >= 1, got {n_pages}")
+    if not kinds or not set(kinds) <= set(CORRUPTION_KINDS):
+        raise StorageError(
+            f"kinds must be a non-empty subset of {CORRUPTION_KINDS}, "
+            f"got {kinds}"
+        )
+    pages: list[tuple[Path, int]] = []
+    for seg_path in sorted(directory.glob("*.seg")):
+        count = seg_path.stat().st_size // page_size
+        pages.extend((seg_path, page_no) for page_no in range(count))
+    if n_pages > len(pages):
+        raise StorageError(
+            f"cannot corrupt {n_pages} pages: only {len(pages)} exist",
+            path=str(directory),
+        )
+    rng = random.Random(seed)
+    targets = rng.sample(pages, n_pages)
+    injected: list[tuple[str, int, str]] = []
+    for seg_path, page_no in targets:
+        kind = kinds[rng.randrange(len(kinds))]
+        fd = os.open(seg_path, os.O_RDWR)
+        try:
+            buffer = bytearray(os.pread(fd, page_size, page_no * page_size))
+            corrupt_buffer(buffer, kind, rng)
+            if verify_page(buffer):  # pragma: no cover - corrupt_buffer
+                buffer[0] ^= 0xFF  # guarantees invalidity already
+            os.pwrite(fd, bytes(buffer), page_no * page_size)
+        finally:
+            os.close(fd)
+        injected.append((seg_path.stem, page_no, kind))
+    return injected

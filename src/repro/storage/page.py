@@ -10,23 +10,81 @@ the classic slotted layout used by heap files:
 * the slot directory grows *backward* from the page end; each slot is
   ``(u16 offset, u16 length)`` with length ``0xFFFF`` marking a
   deleted slot.
+
+The v2 page format additionally reserves the **last 4 bytes** of every
+page for a ``zlib.crc32`` trailer over the preceding
+``page_size - 4`` bytes (:data:`CHECKSUM_SIZE`).  Layout code never
+sees the trailer: the pager hands consumers a *payload size* of
+``page_size - CHECKSUM_SIZE`` and :class:`SlottedPage` (like the index
+node layouts) operates on that logical size while the buffer stays
+``page_size`` bytes.  :func:`seal_page` stamps the trailer before a
+page hits disk; :func:`verify_page` checks it on the way back in.
+v1 pages have no trailer (payload size equals page size) and are
+never verified.
 """
 
 from __future__ import annotations
 
 import struct
+import zlib
 
 from repro.errors import PageError
 
-__all__ = ["DEFAULT_PAGE_SIZE", "SlottedPage"]
+__all__ = [
+    "CHECKSUM_SIZE",
+    "DEFAULT_PAGE_SIZE",
+    "PAGE_FORMAT_V1",
+    "PAGE_FORMAT_V2",
+    "SlottedPage",
+    "page_checksums",
+    "seal_page",
+    "verify_page",
+]
 
 DEFAULT_PAGE_SIZE = 8192
 
+#: Bytes reserved at the page tail for the v2 CRC trailer.
+CHECKSUM_SIZE = 4
+
+#: Historical unchecksummed page format (payload = full page).
+PAGE_FORMAT_V1 = 1
+
+#: Checksummed page format: crc32 trailer in the last 4 bytes.
+PAGE_FORMAT_V2 = 2
+
 _HEADER = struct.Struct("<HH")
 _SLOT = struct.Struct("<HH")
+_CRC = struct.Struct("<I")
 _HEADER_SIZE = _HEADER.size
 _SLOT_SIZE = _SLOT.size
 _DELETED = 0xFFFF
+
+
+def seal_page(buffer: bytearray) -> None:
+    """Stamp the v2 CRC trailer into ``buffer`` in place.
+
+    Idempotent: the checksum covers only the payload bytes (everything
+    before the trailer), so re-sealing a sealed page is a no-op.
+    """
+    if len(buffer) <= CHECKSUM_SIZE:
+        raise PageError(f"page of {len(buffer)} bytes has no payload to seal")
+    crc = zlib.crc32(memoryview(buffer)[: -CHECKSUM_SIZE])
+    _CRC.pack_into(buffer, len(buffer) - CHECKSUM_SIZE, crc)
+
+
+def page_checksums(buffer: bytes | bytearray) -> tuple[int, int]:
+    """``(stored, computed)`` checksums of a v2 page buffer."""
+    if len(buffer) <= CHECKSUM_SIZE:
+        raise PageError(f"page of {len(buffer)} bytes has no trailer")
+    (stored,) = _CRC.unpack_from(buffer, len(buffer) - CHECKSUM_SIZE)
+    computed = zlib.crc32(memoryview(buffer)[: -CHECKSUM_SIZE])
+    return stored, computed
+
+
+def verify_page(buffer: bytes | bytearray) -> bool:
+    """True when a v2 page's trailer matches its payload."""
+    stored, computed = page_checksums(buffer)
+    return stored == computed
 
 
 class SlottedPage:

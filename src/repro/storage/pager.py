@@ -5,6 +5,15 @@ fixed-size pages.  It performs *raw* page I/O and records every
 physical access in the shared :class:`~repro.storage.stats.DiskStats`;
 it does **no caching** — that is the buffer pool's job, and keeping the
 layers separate is what makes the disk-access accounting trustworthy.
+
+With ``checksums`` enabled (the v2 page format), every page written
+carries a crc32 trailer in its last :data:`~repro.storage.page.CHECKSUM_SIZE`
+bytes — stamped by :meth:`Pager.write_page`/:meth:`Pager.allocate` and
+verified by :meth:`Pager.read_page`, which raises
+:class:`~repro.errors.PageCorruptionError` on a mismatch.  Layout code
+above the pager must size itself to :attr:`Pager.payload_size`, never
+``page_size``.  Raw page I/O outside this module (and the WAL and the
+fsck machinery) is banned by reprolint rule R7.
 """
 
 from __future__ import annotations
@@ -13,10 +22,19 @@ import os
 import threading
 import time
 from pathlib import Path
+from typing import TYPE_CHECKING
 
-from repro.errors import StorageError
-from repro.storage.page import DEFAULT_PAGE_SIZE
+from repro.errors import PageCorruptionError, StorageError
+from repro.storage.page import (
+    CHECKSUM_SIZE,
+    DEFAULT_PAGE_SIZE,
+    page_checksums,
+    seal_page,
+)
 from repro.storage.stats import DiskStats
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.metrics import MetricsRegistry
 
 __all__ = ["Pager"]
 
@@ -26,7 +44,8 @@ class Pager:
 
     Attributes:
         name: the segment name used for statistics attribution.
-        page_size: bytes per page.
+        page_size: bytes per page on disk.
+        checksums: whether pages carry a v2 crc32 trailer.
     """
 
     def __init__(
@@ -35,22 +54,45 @@ class Pager:
         stats: DiskStats,
         name: str | None = None,
         page_size: int = DEFAULT_PAGE_SIZE,
+        checksums: bool = False,
     ) -> None:
         self._path = Path(path)
         self.name = name if name is not None else self._path.stem
         self.page_size = page_size
+        self.checksums = checksums
         self._stats = stats
         flags = os.O_RDWR | os.O_CREAT
-        self._fd = os.open(self._path, flags, 0o644)
-        size = os.fstat(self._fd).st_size
-        if size % page_size != 0:
-            os.close(self._fd)
+        try:
+            self._fd = os.open(self._path, flags, 0o644)
+        except OSError as exc:
             raise StorageError(
-                f"{self._path}: size {size} is not a multiple of {page_size}"
-            )
+                f"{self._path}: cannot open segment file: {exc}",
+                path=str(self._path),
+            ) from exc
+        # From here on the fd is owned: any failure before __init__
+        # completes must close it, or the descriptor leaks.
+        try:
+            try:
+                size = os.fstat(self._fd).st_size
+            except OSError as exc:
+                raise StorageError(
+                    f"{self._path}: cannot stat segment file: {exc}",
+                    path=str(self._path),
+                ) from exc
+            if size % page_size != 0:
+                raise StorageError(
+                    f"{self._path}: size {size} is not a multiple of "
+                    f"{page_size}",
+                    path=str(self._path),
+                )
+        except BaseException:
+            os.close(self._fd)
+            raise
         self._n_pages = size // page_size
         self._closed = False
         self._alloc_lock = threading.Lock()
+        self._crc_lock = threading.Lock()
+        self._crc_failures = 0
         #: Optional :class:`repro.storage.wal.WriteAheadLog`; when set,
         #: every in-place page write is logged first.
         self.wal = None
@@ -65,10 +107,14 @@ class Pager:
         self.io_latency = 0.0
         #: Optional :class:`repro.storage.faults.FaultInjector`; when
         #: set, every physical read consults it first and may raise
-        #: :class:`~repro.errors.TransientIOError` or stall.  The
-        #: failed read is *not* counted as a physical read — the page
-        #: never arrived, matching how a real device error behaves.
+        #: :class:`~repro.errors.TransientIOError`, stall, or corrupt
+        #: the page bytes in flight.  A failed read is *not* counted
+        #: as a physical read — the page never arrived, matching how a
+        #: real device error behaves.
         self.fault_injector = None
+        #: Optional :class:`repro.obs.metrics.MetricsRegistry`; when
+        #: set, checksum mismatches increment ``storage.crc_failures``.
+        self.metrics: "MetricsRegistry | None" = None
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -99,6 +145,24 @@ class Pager:
         # this racy read can only lag a concurrent allocate, never tear.
         return self._n_pages  # reprolint: disable=R1 single-writer
 
+    @property
+    def payload_size(self) -> int:
+        """Bytes per page usable by layout code.
+
+        ``page_size`` minus the checksum trailer under the v2 format;
+        the full page under v1.  Every page layout (slotted pages,
+        index nodes) must size itself to this, not ``page_size``.
+        """
+        if self.checksums:
+            return self.page_size - CHECKSUM_SIZE
+        return self.page_size
+
+    @property
+    def crc_failures(self) -> int:
+        """Checksum mismatches seen by :meth:`read_page` so far."""
+        with self._crc_lock:
+            return self._crc_failures
+
     def allocate(self) -> int:
         """Extend the file by one zeroed page; returns its page number.
 
@@ -107,56 +171,121 @@ class Pager:
         self._check_open()
         with self._alloc_lock:
             page_no = self._n_pages
-            os.pwrite(
-                self._fd, b"\x00" * self.page_size, page_no * self.page_size
-            )
+            page = bytearray(self.page_size)
+            if self.checksums:
+                seal_page(page)
+            try:
+                os.pwrite(self._fd, bytes(page), page_no * self.page_size)
+            except OSError as exc:
+                raise StorageError(
+                    f"{self.name}: allocation of page {page_no} failed: "
+                    f"{exc}",
+                    path=str(self._path),
+                    page=page_no,
+                ) from exc
             self._n_pages += 1
         self._stats.record_physical_write(self.name)
         return page_no
 
     def read_page(self, page_no: int) -> bytearray:
-        """Read page ``page_no`` from disk (a *physical read*)."""
+        """Read page ``page_no`` from disk (a *physical read*).
+
+        Under the v2 format the page's crc32 trailer is verified;
+        a mismatch raises :class:`~repro.errors.PageCorruptionError`
+        (and, like an injected fault, does not count as a physical
+        read — corrupt bytes are not a served page).
+        """
         self._check_open()
         self._check_range(page_no)
         if self.fault_injector is not None:
             self.fault_injector.fire("pager.read", f"{self.name}:{page_no}")
         if self.io_latency > 0.0:
             time.sleep(self.io_latency)
-        data = os.pread(self._fd, self.page_size, page_no * self.page_size)
+        try:
+            data = os.pread(self._fd, self.page_size, page_no * self.page_size)
+        except OSError as exc:
+            raise StorageError(
+                f"{self.name}: read of page {page_no} failed: {exc}",
+                path=str(self._path),
+                page=page_no,
+            ) from exc
         if len(data) != self.page_size:
             raise StorageError(
                 f"{self.name}: short read of page {page_no} "
-                f"({len(data)}/{self.page_size} bytes)"
+                f"({len(data)}/{self.page_size} bytes)",
+                path=str(self._path),
+                page=page_no,
             )
+        buf = bytearray(data)
+        if self.fault_injector is not None:
+            self.fault_injector.corrupt_page(buf, f"{self.name}:{page_no}")
+        if self.checksums:
+            stored, computed = page_checksums(buf)
+            if stored != computed:
+                self._record_crc_failure()
+                raise PageCorruptionError(
+                    f"{self.name}: page {page_no} failed checksum "
+                    f"verification",
+                    segment=self.name,
+                    page=page_no,
+                    expected=stored,
+                    actual=computed,
+                )
         self._stats.record_physical_read(self.name)
         if self._stats.trace_hook is not None:
             self._stats.trace_hook(self.name, page_no)
-        return bytearray(data)
+        return buf
 
     def write_page(self, page_no: int, data: bytes | bytearray) -> None:
         """Write page ``page_no`` to disk (a *physical write*).
 
-        When a write-ahead log is attached (:attr:`wal`), the page
-        image is appended to the log before the in-place write.
+        Under the v2 format the image is sealed — its crc32 trailer
+        stamped — before it leaves this method (the caller's buffer is
+        not mutated).  When a write-ahead log is attached (:attr:`wal`),
+        the sealed image is appended to the log before the in-place
+        write, so WAL replay restores verifiable pages.
         """
         self._check_open()
         self._check_range(page_no)
         if len(data) != self.page_size:
             raise StorageError(
                 f"{self.name}: page payload is {len(data)} bytes, "
-                f"expected {self.page_size}"
+                f"expected {self.page_size}",
+                path=str(self._path),
+                page=page_no,
             )
+        image = bytearray(data)
+        if self.checksums:
+            seal_page(image)
         if self.wal is not None:
-            self.wal.log_page(self.name, page_no, bytes(data))
-        os.pwrite(self._fd, bytes(data), page_no * self.page_size)
+            self.wal.log_page(self.name, page_no, bytes(image))
+        try:
+            os.pwrite(self._fd, bytes(image), page_no * self.page_size)
+        except OSError as exc:
+            raise StorageError(
+                f"{self.name}: write of page {page_no} failed: {exc}",
+                path=str(self._path),
+                page=page_no,
+            ) from exc
         self._stats.record_physical_write(self.name)
 
     def sync(self) -> None:
         """fsync the file."""
         self._check_open()
-        os.fsync(self._fd)
+        try:
+            os.fsync(self._fd)
+        except OSError as exc:
+            raise StorageError(
+                f"{self.name}: fsync failed: {exc}", path=str(self._path)
+            ) from exc
 
     # -- checks ----------------------------------------------------------------------
+
+    def _record_crc_failure(self) -> None:
+        with self._crc_lock:
+            self._crc_failures += 1
+        if self.metrics is not None:
+            self.metrics.counter("storage.crc_failures").inc()
 
     def _check_open(self) -> None:
         if self._closed:

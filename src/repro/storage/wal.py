@@ -131,11 +131,29 @@ class WriteAheadLog:
             segment = open_segment(segment_name)
             while segment.n_pages <= page_no:
                 segment.allocate()
-            buf = segment.fetch(page_no)
-            buf[:] = data
-            segment.mark_dirty(page_no)
+            # Write-only application: a crash mid-write may have left
+            # the target page torn, so fetching it first could fail
+            # checksum verification — exactly the state the log is
+            # here to repair.  The image goes straight through the
+            # pager, displacing any cached frame.
+            segment.write_page_image(page_no, data)
         self.path.unlink()
         return "replayed"
+
+    def committed_records(self) -> list[tuple[str, int, bytes]] | None:
+        """Page images of a committed log, without applying them.
+
+        Returns ``None`` when no log file exists or the log carries no
+        (intact) commit record — in either case there is nothing a
+        repair may legally replay.  Used by ``fsck --repair`` to
+        restore individual corrupt pages.
+        """
+        try:
+            raw = self.path.read_bytes()
+        except FileNotFoundError:
+            return None
+        records, committed = self._parse(raw)
+        return records if committed else None
 
     def _parse(
         self, raw: bytes

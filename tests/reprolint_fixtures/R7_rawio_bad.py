@@ -1,0 +1,12 @@
+# reprolint-fixture: path=src/repro/core/demo_dump.py
+# Raw pread skips checksum verification; raw pwrite leaves a stale
+# crc trailer that fails verification on the next pager read.
+import os
+
+
+def dump_page(fd, page_size, page_no):
+    return os.pread(fd, page_size, page_no * page_size)  # [R7]
+
+
+def patch_page(fd, page_size, page_no, data):
+    os.pwrite(fd, data, page_no * page_size)  # [R7]

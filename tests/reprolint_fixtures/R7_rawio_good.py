@@ -1,0 +1,10 @@
+# reprolint-fixture: path=src/repro/core/demo_dump.py
+# Sanctioned form: route page access through the pager, which seals
+# the crc trailer on write and verifies it on read.  (os.pread inside
+# src/repro/storage/pager.py itself is allowed — that IS the pager.)
+def dump_page(pager, page_no):
+    return pager.read_page(page_no)
+
+
+def patch_page(pager, page_no, data):
+    pager.write_page(page_no, data)

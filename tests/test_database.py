@@ -83,8 +83,12 @@ class TestFailureInjection:
             hf = HeapFile(db.segment("t"))
             rid = hf.insert(b"victim")
             # Scribble over the slot directory in the buffered page.
-            buf = db.segment("t").fetch(0)
-            buf[-4:] = b"\xff\xff\xff\xff"
+            # (It ends at payload_size: under the v2 format the last 4
+            # bytes of the raw page are the crc trailer, not the
+            # directory.)
+            seg = db.segment("t")
+            buf = seg.fetch(0)
+            buf[seg.payload_size - 4 : seg.payload_size] = b"\xff\xff\xff\xff"
             db.segment("t").mark_dirty(0)
             with pytest.raises(PageError):
                 hf.read(rid)

@@ -16,10 +16,13 @@ from repro.core import DirectMeshStore, QueryEngine
 from repro.core.engine import SingleBaseRequest, UniformRequest
 from repro.errors import (
     DeadlineExceededError,
+    PageCorruptionError,
     QueryError,
     StorageError,
     TransientIOError,
 )
+from repro.storage.faults import CORRUPTION_KINDS, corrupt_buffer
+from repro.storage.page import seal_page, verify_page
 from repro.geometry.plane import QueryPlane
 from repro.geometry.primitives import Rect
 from repro.obs.metrics import MetricsRegistry
@@ -127,6 +130,65 @@ class TestFaultInjector:
             FaultInjector(latency_rate=-0.1)
         with pytest.raises(StorageError):
             FaultInjector(latency_s=-1.0)
+
+
+class TestCorruptionInjector:
+    @pytest.mark.parametrize("kind", CORRUPTION_KINDS)
+    def test_every_kind_invalidates_a_sealed_page(self, kind):
+        buf = bytearray(random.Random(1).randbytes(4096))
+        seal_page(buf)
+        assert verify_page(buf)
+        corrupt_buffer(buf, kind, random.Random(2))
+        assert not verify_page(buf)
+
+    def test_unknown_kind_and_empty_buffer_rejected(self):
+        with pytest.raises(StorageError):
+            corrupt_buffer(bytearray(16), "gamma-ray", random.Random(0))
+        with pytest.raises(StorageError):
+            corrupt_buffer(bytearray(), "bitflip", random.Random(0))
+
+    def test_corrupt_page_deterministic_replay(self):
+        def kinds_drawn(injector):
+            out = []
+            for _ in range(100):
+                buf = bytearray(random.Random(7).randbytes(512))
+                seal_page(buf)
+                out.append(injector.corrupt_page(buf))
+            return out
+
+        a = FaultInjector(corrupt_rate=0.5, seed=21)
+        b = FaultInjector(corrupt_rate=0.5, seed=21)
+        assert kinds_drawn(a) == kinds_drawn(b)
+        assert a.corruptions_injected == b.corruptions_injected > 0
+
+    def test_rate_zero_never_corrupts(self):
+        injector = FaultInjector(corrupt_rate=0.0, seed=0)
+        buf = bytearray(512)
+        seal_page(buf)
+        assert injector.corrupt_page(buf) is None
+        assert verify_page(buf)
+        assert injector.corruptions_injected == 0
+
+    def test_max_corruptions_bounds_injection(self):
+        injector = FaultInjector(
+            corrupt_rate=1.0, seed=0, max_corruptions=3
+        )
+        hits = 0
+        for _ in range(10):
+            buf = bytearray(512)
+            seal_page(buf)
+            if injector.corrupt_page(buf) is not None:
+                hits += 1
+        assert hits == 3
+        assert sum(injector.corruptions_by_kind.values()) == 3
+
+    def test_invalid_corruption_config_rejected(self):
+        with pytest.raises(StorageError):
+            FaultInjector(corrupt_rate=1.5)
+        with pytest.raises(StorageError):
+            FaultInjector(corrupt_kinds=())
+        with pytest.raises(StorageError):
+            FaultInjector(corrupt_kinds=("bogus",))
 
 
 class TestStorageWiring:
@@ -246,6 +308,85 @@ class TestFaultIsolation:
         assert outcome.attempts == 1
         assert calls["n"] == 1  # No retry for non-transient failures.
         assert registry.counters().get("engine.retries", 0) == 0
+
+
+class TestCorruptionServing:
+    def test_corrupt_uniform_degrades_and_quarantines(
+        self, clean_injector
+    ):
+        db, store = clean_injector
+        injector = FaultInjector(
+            corrupt_rate=1.0, seed=3, max_corruptions=1
+        )
+        db.set_fault_injector(injector)
+        db.flush()  # Cold cache: the first physical read is corrupted.
+        crc_before = db.crc_failures
+        registry = MetricsRegistry()
+        request = _random_uniform(store, random.Random(41))
+        with QueryEngine(
+            store, workers=2, retries=5, registry=registry
+        ) as engine:
+            outcome = engine.run(request)
+        db.set_fault_injector(None)
+        assert outcome.ok and outcome.degraded
+        assert outcome.attempts == 1  # Corruption is never retried.
+        counters = registry.counters()
+        assert counters["engine.corruptions"] == 1
+        assert counters["engine.degraded"] == 1
+        assert counters.get("engine.retries", 0) == 0
+        assert len(engine.quarantine) == 1
+        assert db.crc_failures - crc_before == 1
+        # The degraded answer matches the sequential base mesh.
+        reference = store.uniform_query(request.roi, store.max_lod)
+        assert outcome.result.nodes == reference.nodes
+
+    def test_corrupt_viewdep_fails_in_isolation(self, clean_injector):
+        db, store = clean_injector
+        injector = FaultInjector(
+            corrupt_rate=1.0, seed=5, max_corruptions=1
+        )
+        db.set_fault_injector(injector)
+        db.flush()
+        extent = store.rtree.data_space.rect
+        plane = QueryPlane(
+            extent, 0.2 * store.max_lod, 0.8 * store.max_lod
+        )
+        registry = MetricsRegistry()
+        with QueryEngine(
+            store, workers=2, retries=5, registry=registry
+        ) as engine:
+            outcome = engine.run(SingleBaseRequest(plane))
+        db.set_fault_injector(None)
+        assert not outcome.ok
+        assert isinstance(outcome.error, PageCorruptionError)
+        assert outcome.attempts == 1
+        assert not outcome.degraded
+        assert registry.counters()["engine.corruptions"] == 1
+
+    def test_crc_failures_track_injected_corruptions(
+        self, clean_injector
+    ):
+        db, store = clean_injector
+        injector = FaultInjector(corrupt_rate=0.3, seed=9)
+        db.set_fault_injector(injector)
+        db.flush()
+        crc_before = db.crc_failures
+        rng = random.Random(43)
+        requests = [_random_uniform(store, rng) for _ in range(12)]
+        with QueryEngine(store, workers=4, retries=2) as engine:
+            outcomes = engine.run_batch(requests)
+        db.set_fault_injector(None)
+        assert len(outcomes) == len(requests)
+        # Every injected corruption is caught by exactly one checksum
+        # failure — corrupt pages are never admitted to the pool.
+        assert injector.corruptions_injected > 0
+        assert (
+            db.crc_failures - crc_before == injector.corruptions_injected
+        )
+        for outcome in outcomes:
+            assert (outcome.result is None) == (outcome.error is not None)
+            if not outcome.ok:
+                assert isinstance(outcome.error, PageCorruptionError)
 
 
 class TestDeadlines:

@@ -15,6 +15,7 @@ import pytest
 
 from repro.core import DirectMeshStore, QueryEngine
 from repro.core.engine import UniformRequest
+from repro.errors import PageCorruptionError, TransientIOError
 from repro.geometry.primitives import Rect
 from repro.storage import Database, DiskStats, FaultInjector, Pager
 from repro.storage.buffer import BufferPool
@@ -214,3 +215,54 @@ class TestEngineUnderFaults:
                 assert (outcome.result is None) == (outcome.error is not None)
             ok = sum(o.ok for o in outcomes)
             assert ok >= len(requests) * 0.9
+
+    def test_eight_workers_with_corruption(self, tmp_path):
+        """Corruption storm at workers=8: no exception escapes, every
+        corrupted request surfaces as degraded or errored, the
+        quarantine stays bounded, and the checksum counter matches the
+        injector's fire count exactly."""
+        dataset = dataset_by_name("foothills", 1200, seed=23)
+        # A pool too small for the working set keeps every worker doing
+        # physical reads, so the injector fires reliably; a warm pool
+        # would absorb almost all reads and starve the corrupt path.
+        with Database(tmp_path / "db", pool_pages=8) as db:
+            store = DirectMeshStore.build(dataset.pm, db, dataset.connections)
+            injector = FaultInjector(
+                error_rate=0.02, corrupt_rate=0.1, seed=91
+            )
+            db.set_fault_injector(injector)
+            extent = store.rtree.data_space.rect
+            rng = random.Random(47)
+            side = 0.2 * min(extent.width, extent.height)
+            requests = []
+            for _ in range(60):
+                x0 = extent.min_x + rng.random() * (extent.width - side)
+                y0 = extent.min_y + rng.random() * (extent.height - side)
+                requests.append(
+                    UniformRequest(
+                        Rect(x0, y0, x0 + side, y0 + side),
+                        rng.random() * store.max_lod,
+                    )
+                )
+            db.flush()
+            with QueryEngine(
+                store,
+                workers=STRESS_WORKERS,
+                retries=4,
+                quarantine_cap=16,
+            ) as engine:
+                outcomes = engine.run_batch(requests)
+            db.set_fault_injector(None)
+            assert len(outcomes) == len(requests)
+            for outcome in outcomes:
+                assert (outcome.result is None) == (
+                    outcome.error is not None
+                )
+                if not outcome.ok:
+                    assert isinstance(
+                        outcome.error,
+                        (PageCorruptionError, TransientIOError),
+                    )
+            assert injector.corruptions_injected > 0
+            assert len(engine.quarantine) <= engine.quarantine.capacity
+            assert db.crc_failures == injector.corruptions_injected

@@ -65,7 +65,9 @@ class TestCorruptions:
         rid, _ = next(small_store.heap.scan())
         page_no, slot = unpack_rid(rid)
         buf = small_store.heap.segment.fetch(page_no)
-        page = SlottedPage(buf, small_store.heap.segment.page_size)
+        # The slotted layout ends at payload_size; under the v2 page
+        # format the bytes beyond it are the crc trailer.
+        page = SlottedPage(buf, small_store.heap.segment.payload_size)
         offset, length = page._slot(slot)
         buf[offset : offset + min(8, length)] = b"\xff" * min(8, length)
         small_store.heap.segment.mark_dirty(page_no)

@@ -138,6 +138,82 @@ class TestCrashRecovery:
             assert bytes(db.segment("t").fetch(0)) != b"\xcd" * 8192
 
 
+class TestCrashMatrix:
+    """Atomicity under every torn-log shape.
+
+    A committed three-record log is truncated at every record boundary
+    and mid-record, and corrupted inside every record (and the commit
+    record): recovery must either fully replay all three images or
+    fully discard them — never apply a prefix.
+    """
+
+    PAGE_SIZE = 8192
+    N_RECORDS = 3
+    # crc(4) + kind(4) + name_len(4) + name("t") + page_no(8) + page.
+    RECORD = 12 + 1 + 8 + PAGE_SIZE
+    COMMIT = 12
+    FULL = N_RECORDS * RECORD + COMMIT
+
+    def _prepare(self, tmp_path) -> tuple:
+        path = tmp_path / "db"
+        with Database(path) as db:
+            seg = db.segment("t")
+            for _ in range(self.N_RECORDS):
+                seg.allocate()
+        wal = WriteAheadLog(path, self.PAGE_SIZE)
+        wal.begin()
+        for page_no in range(self.N_RECORDS):
+            image = bytearray(self.PAGE_SIZE)
+            image[:4] = bytes([page_no + 1] * 4)
+            wal.log_page("t", page_no, bytes(image))
+        wal.commit()
+        wal.close(discard=False)
+        return path, (path / WAL_FILENAME).read_bytes()
+
+    def _recover_and_classify(self, path, raw: bytes) -> str:
+        (path / WAL_FILENAME).write_bytes(raw)
+        with Database(path) as db:
+            assert not (path / WAL_FILENAME).exists()
+            seg = db.segment("t")
+            heads = [
+                bytes(seg.fetch(p)[:4]) for p in range(self.N_RECORDS)
+            ]
+        applied = [
+            heads[p] == bytes([p + 1] * 4) for p in range(self.N_RECORDS)
+        ]
+        untouched = [head == b"\x00" * 4 for head in heads]
+        assert all(applied) or all(untouched), (
+            f"partial replay: {applied}"
+        )
+        return "replayed" if all(applied) else "discarded"
+
+    @pytest.mark.parametrize(
+        "cut",
+        [0, RECORD, 2 * RECORD, 3 * RECORD, FULL]
+        + [100, RECORD + 100, 2 * RECORD + 100, 3 * RECORD + 6],
+        ids=lambda c: f"cut-{c}",
+    )
+    def test_truncation_never_half_applies(self, tmp_path, cut):
+        path, raw = self._prepare(tmp_path)
+        assert len(raw) == self.FULL
+        expected = "replayed" if cut == self.FULL else "discarded"
+        assert self._recover_and_classify(path, raw[:cut]) == expected
+
+    @pytest.mark.parametrize(
+        "record", range(N_RECORDS + 1), ids=lambda r: f"record-{r}"
+    )
+    def test_corruption_never_half_applies(self, tmp_path, record):
+        # A flipped byte inside record N (or, for the last index, the
+        # commit record) breaks its crc; the parse stops there and the
+        # commit record is never reached, so nothing may be applied.
+        path, raw = self._prepare(tmp_path)
+        damaged = bytearray(raw)
+        offset = 40 if record < self.N_RECORDS else 6
+        damaged[record * self.RECORD + offset] ^= 0xFF
+        outcome = self._recover_and_classify(path, bytes(damaged))
+        assert outcome == "discarded"
+
+
 class TestWalUnit:
     def test_log_requires_begin(self, tmp_path):
         wal = WriteAheadLog(tmp_path, 512)
