@@ -6,7 +6,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test test-fast lint lint-repro typecheck ci stress perf-smoke fsck bench report examples clean
+.PHONY: install test test-fast lint lint-repro typecheck ci stress perf-smoke slo-smoke bench-slo fsck bench report examples clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -55,6 +55,26 @@ stress:
 # `perf-smoke` job in CI, which relaxes the guards for shared runners.
 perf-smoke:
 	$(PYTHON) -m pytest benchmarks/test_semantic_cache.py --benchmark-only -q
+
+# Open-loop SLO smoke: a short run of the admission-controlled
+# open-loop matrix with generous guards (goodput merely well above
+# zero, shed path exercised, reports schema-valid).  Mirrors the
+# `slo-smoke` job in CI; the honest numbers come from the nightly
+# bench workflow (`benchmarks/test_slo_openloop.py` at defaults).
+SLO_SMOKE_REQUESTS ?= 250
+SLO_SMOKE_GOODPUT_FRAC ?= 0.25
+slo-smoke:
+	REPRO_SLO_REQUESTS=$(SLO_SMOKE_REQUESTS) \
+	REPRO_SLO_GOODPUT_FRAC=$(SLO_SMOKE_GOODPUT_FRAC) \
+	REPRO_SLO_COLLAPSE_GUARD=0.5 \
+	$(PYTHON) -m pytest benchmarks/test_slo_openloop.py --benchmark-only -q
+
+# Full open-loop SLO matrix at honest guard levels + the nightly
+# regression gate against the committed BENCH_6.json baseline.
+bench-slo:
+	cp BENCH_6.json /tmp/repro-bench-baseline.json
+	$(PYTHON) -m pytest benchmarks/test_slo_openloop.py --benchmark-only -q
+	$(PYTHON) scripts/bench_compare.py /tmp/repro-bench-baseline.json BENCH_6.json
 
 # Integrity drill: build a throwaway database, scrub it (must be
 # clean), snapshot, inject seeded corruption (scrub must now fail),

@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Nightly bench regression gate (thin shim over repro.bench.compare).
+
+Usage::
+
+    python scripts/bench_compare.py BASELINE.json CANDIDATE.json \
+        [--max-regression 0.25]
+
+Exits non-zero when any admission-controlled open-loop run's p99
+latency regressed past the threshold versus the committed baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.bench.compare import DEFAULT_MAX_P99_REGRESSION, compare_files
+from repro.errors import ReproError
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="committed baseline BENCH json")
+    parser.add_argument("candidate", help="freshly produced BENCH json")
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=DEFAULT_MAX_P99_REGRESSION,
+        help="tolerated fractional p99 growth (default 0.25 = 25%%)",
+    )
+    args = parser.parse_args(argv)
+    try:
+        result = compare_files(
+            args.baseline, args.candidate, args.max_regression
+        )
+    except (OSError, ValueError, ReproError) as exc:
+        print(f"bench gate error: {exc}", file=sys.stderr)
+        return 2
+    print(result.to_text())
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,6 +21,10 @@ R7        Raw page I/O (``os.pread``/``os.pwrite``) only inside the
           storage layer's sanctioned modules — everything else goes
           through :class:`~repro.storage.pager.Pager`, which seals and
           verifies page checksums.
+R8        Registry hygiene: entries added to ``METRIC_NAMES`` /
+          ``METRIC_PREFIXES`` follow the ``family.metric`` grammar
+          with a family declared in ``METRIC_FAMILIES`` (a misspelt
+          family dodges every dashboard that groups by family).
 ========  ==================================================================
 
 Rules R1/R3 scope themselves to classes that *own* a lock (they assign
@@ -31,6 +35,7 @@ value classes stay out of scope by construction.
 from __future__ import annotations
 
 import ast
+import re
 from typing import Iterator
 
 from repro.analysis.engine import (
@@ -528,3 +533,103 @@ class RawPageIORule(Rule):
                     "Segment), or repro.storage.inject_corruption for "
                     "deliberate damage in drills",
                 )
+
+
+@register
+class MetricRegistryGrammarRule(Rule):
+    """R8: registry entries follow the ``family.metric`` grammar.
+
+    R5 guarantees emitted names come *from* the registry; R8 guards
+    the registry itself.  Every string literal added to
+    ``METRIC_NAMES`` must be ``family.metric`` — a head declared in
+    :data:`repro.obs.metrics.METRIC_FAMILIES` followed by one or more
+    lowercase ``[a-z0-9_]`` segments — and every ``METRIC_PREFIXES``
+    entry must additionally end with ``"."`` (it is a prefix for
+    dynamically formatted names).  A registry addition with a misspelt
+    family (``sol.`` for ``slo.``) would sail through R5 while dodging
+    every dashboard that groups series by family.
+    """
+
+    id = "R8"
+    title = "metric registry entry violates the family.metric grammar"
+
+    _TARGETS = frozenset({"METRIC_NAMES", "METRIC_PREFIXES"})
+    _SEGMENT = re.compile(r"[a-z][a-z0-9_]*\Z")
+
+    def __init__(self) -> None:
+        self._families: frozenset[str] | None = None
+
+    def _known_families(self) -> frozenset[str]:
+        if self._families is None:
+            from repro.obs.metrics import METRIC_FAMILIES
+
+            self._families = METRIC_FAMILIES
+        return self._families
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            assignment = self._registry_assignment(node)
+            if assignment is None:
+                continue
+            target, value = assignment
+            for literal in ast.walk(value):
+                if isinstance(literal, ast.Constant) and isinstance(
+                    literal.value, str
+                ):
+                    problem = self._problem(
+                        literal.value, prefix=target == "METRIC_PREFIXES"
+                    )
+                    if problem is not None:
+                        yield self.violation(
+                            ctx,
+                            literal,
+                            f"{target} entry '{literal.value}' {problem}",
+                        )
+
+    @classmethod
+    def _registry_assignment(
+        cls, node: ast.AST
+    ) -> tuple[str, ast.expr] | None:
+        """``(registry_name, assigned_value)`` when ``node`` assigns
+        one of the metric registries, else None."""
+        if isinstance(node, ast.AnnAssign):
+            targets: list[ast.expr] = [node.target]
+            value = node.value
+        elif isinstance(node, ast.Assign):
+            targets = list(node.targets)
+            value = node.value
+        else:
+            return None
+        if value is None:
+            return None
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id in cls._TARGETS:
+                return target.id, value
+        return None
+
+    def _problem(self, name: str, prefix: bool) -> str | None:
+        """Why ``name`` breaks the grammar, or None if well-formed."""
+        if prefix:
+            if not name.endswith("."):
+                return (
+                    "must end with '.' (prefixes head dynamically "
+                    "formatted names)"
+                )
+            segments = name[:-1].split(".")
+        else:
+            if name.endswith("."):
+                return "must not end with '.' (that form is a prefix)"
+            segments = name.split(".")
+        if len(segments) < 2:
+            return "must follow the family.metric grammar"
+        if not all(self._SEGMENT.fullmatch(segment) for segment in segments):
+            return (
+                "has a segment outside the [a-z][a-z0-9_]* grammar"
+            )
+        families = self._known_families()
+        if segments[0] not in families:
+            return (
+                f"uses family '{segments[0]}', which is not declared "
+                "in repro.obs.metrics.METRIC_FAMILIES"
+            )
+        return None

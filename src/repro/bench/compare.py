@@ -1,0 +1,181 @@
+"""Regression gate over open-loop SLO bench reports.
+
+The nightly bench workflow runs the open-loop matrix into
+``BENCH_6.json`` and compares it against the baseline committed in the
+repository: a p99 latency regression beyond the threshold on any
+*admission-controlled* run fails the build.  The no-admission arms are
+deliberately exempt — they exist to demonstrate latency collapse, so
+their percentiles are as large as the queue got and carry no signal.
+
+Runs are matched across files by :func:`run_key` (workload mode +
+admission flag + offered-rate multiple), so a matrix can grow new
+cells without breaking comparison of the existing ones; a *missing*
+baseline cell is reported but never fails the gate (the first nightly
+after adding a cell has nothing to compare against).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.bench.openloop import validate_slo_report
+from repro.errors import QueryError
+
+__all__ = [
+    "RunComparison",
+    "ComparisonResult",
+    "extract_slo_runs",
+    "run_key",
+    "compare_reports",
+    "compare_files",
+]
+
+#: Fractional p99 growth tolerated before the gate fails (0.25 = 25%).
+DEFAULT_MAX_P99_REGRESSION = 0.25
+
+#: Absolute p99 floor (ms) below which regressions are ignored: at
+#: sub-millisecond latencies the ratio is all scheduler noise.
+P99_NOISE_FLOOR_MS = 1.0
+
+
+def extract_slo_runs(payload: object) -> list[dict]:
+    """The validated open-loop runs inside one ``BENCH_6.json`` payload.
+
+    Accepts either the merged BENCH layout (``{"slo_openloop":
+    {"runs": [...]}}``) or a bare ``{"runs": [...]}`` / ``[...]``
+    written by ``bench-slo --json``-style tooling.
+    """
+    if isinstance(payload, dict) and "slo_openloop" in payload:
+        payload = payload["slo_openloop"]
+    if isinstance(payload, dict) and "runs" in payload:
+        payload = payload["runs"]
+    if isinstance(payload, dict):
+        payload = [payload]
+    if not isinstance(payload, list):
+        raise QueryError(
+            "no open-loop runs found", payload_type=type(payload).__name__
+        )
+    runs: list[dict] = []
+    for index, report in enumerate(payload):
+        problems = validate_slo_report(report)
+        if problems:
+            raise QueryError(
+                f"run {index} fails the report schema",
+                problems="; ".join(problems),
+            )
+        runs.append(report)
+    return runs
+
+
+def run_key(report: dict) -> str:
+    """A stable identity for one matrix cell across bench files."""
+    multiple = report.get("rate_multiple")
+    rate = f"{multiple:g}x" if multiple is not None else "fixed-rate"
+    admission = "admission" if report["admission"] else "no-admission"
+    return f"{report['mode']}/{rate}/{admission}"
+
+
+@dataclass(frozen=True)
+class RunComparison:
+    """One matrix cell's baseline-vs-candidate verdict."""
+
+    key: str
+    gated: bool
+    baseline_p99_ms: float | None
+    candidate_p99_ms: float
+    regressed: bool
+
+    @property
+    def ratio(self) -> float | None:
+        """Candidate p99 over baseline p99 (None without a baseline)."""
+        if self.baseline_p99_ms is None or self.baseline_p99_ms <= 0:
+            return None
+        return self.candidate_p99_ms / self.baseline_p99_ms
+
+
+@dataclass
+class ComparisonResult:
+    """The gate's full verdict over a candidate bench file."""
+
+    threshold: float
+    rows: list[RunComparison] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when no gated run regressed past the threshold."""
+        return not any(row.regressed for row in self.rows)
+
+    def to_text(self) -> str:
+        lines = [
+            f"bench gate: p99 regression threshold "
+            f"{100 * self.threshold:.0f}% (admission runs only)"
+        ]
+        for row in self.rows:
+            if row.baseline_p99_ms is None:
+                verdict = "NEW (no baseline)"
+                base = "-"
+            else:
+                change = 100.0 * (row.ratio - 1.0)
+                verdict = "FAIL" if row.regressed else "ok"
+                if not row.gated:
+                    verdict = "exempt"
+                base = f"{row.baseline_p99_ms:.2f}"
+                verdict = f"{verdict} ({change:+.1f}%)"
+            lines.append(
+                f"  {row.key:<32} p99 {base:>9} -> "
+                f"{row.candidate_p99_ms:>9.2f} ms  {verdict}"
+            )
+        lines.append("PASS" if self.ok else "FAIL")
+        return "\n".join(lines)
+
+
+def compare_reports(
+    baseline_runs: list[dict],
+    candidate_runs: list[dict],
+    max_p99_regression: float = DEFAULT_MAX_P99_REGRESSION,
+) -> ComparisonResult:
+    """Gate candidate runs against their baseline counterparts."""
+    if max_p99_regression <= 0:
+        raise QueryError(
+            f"max_p99_regression must be > 0, got {max_p99_regression}"
+        )
+    baseline_by_key = {run_key(run): run for run in baseline_runs}
+    result = ComparisonResult(threshold=max_p99_regression)
+    for run in candidate_runs:
+        key = run_key(run)
+        base = baseline_by_key.get(key)
+        candidate_p99 = float(run["latency_ms"]["p99"])
+        gated = bool(run["admission"])
+        if base is None:
+            result.rows.append(
+                RunComparison(key, gated, None, candidate_p99, False)
+            )
+            continue
+        baseline_p99 = float(base["latency_ms"]["p99"])
+        regressed = (
+            gated
+            and candidate_p99 > P99_NOISE_FLOOR_MS
+            and baseline_p99 > 0
+            and candidate_p99 > baseline_p99 * (1.0 + max_p99_regression)
+        )
+        result.rows.append(
+            RunComparison(key, gated, baseline_p99, candidate_p99, regressed)
+        )
+    return result
+
+
+def compare_files(
+    baseline_path: str | Path,
+    candidate_path: str | Path,
+    max_p99_regression: float = DEFAULT_MAX_P99_REGRESSION,
+) -> ComparisonResult:
+    """Load two bench JSON files and gate candidate against baseline."""
+    baseline = json.loads(Path(baseline_path).read_text())
+    candidate = json.loads(Path(candidate_path).read_text())
+    return compare_reports(
+        extract_slo_runs(baseline),
+        extract_slo_runs(candidate),
+        max_p99_regression,
+    )

@@ -9,6 +9,10 @@ Commands:
 * ``viewdep`` — run a viewpoint-dependent (tilted-plane) query;
 * ``bench-serve`` — replay a synthetic query workload through the
   concurrent engine at several worker counts (throughput baseline);
+* ``bench-slo`` — open-loop SLO harness: Poisson arrivals at a fixed
+  offered rate (zipfian hotspots or flight-path sessions), scored as
+  goodput-under-SLO with p50/p99/p999 latency; with admission control
+  on (the default) overload degrades or sheds instead of queueing;
 * ``fsck``    — verify (and optionally repair) storage integrity:
   every page of every segment is checksum-verified and the R*-tree
   walked structurally; ``--repair`` restores corrupt pages from a
@@ -251,6 +255,107 @@ def _build_parser() -> argparse.ArgumentParser:
         help="print the full metrics report of the last sweep",
     )
     serve.set_defaults(handler=_cmd_bench_serve)
+
+    slo = sub.add_parser(
+        "bench-slo",
+        help="open-loop SLO load harness (Poisson arrivals, admission "
+        "control)",
+    )
+    slo.add_argument("database")
+    slo.add_argument(
+        "--mode",
+        choices=["zipf", "flightpath", "mixed"],
+        default="zipf",
+        help="workload shape: zipfian hotspots, correlated flight-path "
+        "sessions, or an even interleave",
+    )
+    slo.add_argument(
+        "--requests", type=int, default=400, help="arrivals to generate"
+    )
+    rate = slo.add_mutually_exclusive_group()
+    rate.add_argument(
+        "--offered-rate",
+        type=float,
+        default=None,
+        help="offered arrival rate in requests/second",
+    )
+    rate.add_argument(
+        "--rate-multiple",
+        type=float,
+        default=2.0,
+        help="offered rate as a multiple of the measured closed-loop "
+        "capacity (default 2.0; ignored with --offered-rate)",
+    )
+    slo.add_argument(
+        "--workers", type=int, default=4, help="engine worker threads"
+    )
+    slo.add_argument(
+        "--slo-ms",
+        type=float,
+        default=50.0,
+        help="latency budget goodput is scored against (from scheduled "
+        "arrival, so queue wait counts)",
+    )
+    slo.add_argument("--tenants", type=int, default=4)
+    slo.add_argument("--hotspots", type=int, default=64)
+    slo.add_argument("--sessions", type=int, default=8)
+    slo.add_argument(
+        "--roi-frac",
+        type=float,
+        default=0.15,
+        help="ROI edge length as a fraction of the terrain extent",
+    )
+    slo.add_argument("--seed", type=int, default=0)
+    slo.add_argument(
+        "--budget-da",
+        type=float,
+        default=None,
+        help="admission budget in estimated disk accesses (default: "
+        "auto — twice the workers' mean-cost working set)",
+    )
+    slo.add_argument(
+        "--tenant-rate",
+        type=float,
+        default=None,
+        help="per-tenant token refill in cost units/second (default: "
+        "per-tenant fairness off)",
+    )
+    slo.add_argument(
+        "--no-admission",
+        action="store_true",
+        help="run without a CostGovernor (the latency-collapse control "
+        "arm)",
+    )
+    slo.add_argument(
+        "--pool-pages",
+        type=int,
+        default=64,
+        help="buffer pool capacity (small pools keep the workload I/O "
+        "bound)",
+    )
+    slo.add_argument(
+        "--io-latency",
+        type=float,
+        default=0.0,
+        help="simulated seconds per physical page read (0 = off)",
+    )
+    slo.add_argument(
+        "--cache-mb",
+        type=float,
+        default=0.0,
+        help="semantic result cache budget in MiB (0 = cache off)",
+    )
+    slo.add_argument(
+        "--json",
+        metavar="FILE",
+        help="write the schema-versioned report JSON here",
+    )
+    slo.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the full metrics report after the run",
+    )
+    slo.set_defaults(handler=_cmd_bench_slo)
 
     fsck = sub.add_parser(
         "fsck",
@@ -541,6 +646,102 @@ def _cmd_bench_serve(args) -> int:
                 f"(run `python -m repro fsck` to scrub and repair)"
             )
     if args.metrics and registry is not None:
+        print()
+        print(registry.report())
+    db.close()
+    return 0
+
+
+def _cmd_bench_slo(args) -> int:
+    import json
+
+    from repro.bench.openloop import (
+        OpenLoopConfig,
+        measure_capacity,
+        run_open_loop,
+        suggest_budget,
+        validate_slo_report,
+    )
+    from repro.core.engine import CostGovernor, QueryEngine
+    from repro.obs.metrics import MetricsRegistry
+
+    db = Database(
+        args.database,
+        pool_pages=args.pool_pages,
+        io_latency=args.io_latency,
+    )
+    store = DirectMeshStore.open(db)
+
+    def config_at(rate: float) -> OpenLoopConfig:
+        return OpenLoopConfig(
+            offered_rate=rate,
+            n_requests=args.requests,
+            mode=args.mode,
+            seed=args.seed,
+            roi_frac=args.roi_frac,
+            hotspots=args.hotspots,
+            sessions=args.sessions,
+            tenants=args.tenants,
+            slo_ms=args.slo_ms,
+        )
+
+    capacity = None
+    if args.offered_rate is not None:
+        offered = args.offered_rate
+    else:
+        capacity = measure_capacity(
+            store, config_at(1.0), workers=args.workers
+        )
+        offered = args.rate_multiple * capacity
+        print(
+            f"closed-loop capacity: {capacity:.1f} qps -> offering "
+            f"{offered:.1f} req/s ({args.rate_multiple:g}x)"
+        )
+    config = config_at(offered)
+
+    governor = None
+    if not args.no_admission:
+        budget = args.budget_da
+        if budget is None:
+            budget = suggest_budget(store, config, args.workers)
+            print(f"admission budget: {budget:.1f} estimated disk accesses")
+        governor = CostGovernor(
+            store.cost_model,
+            budget,
+            tenant_rate=args.tenant_rate,
+        )
+
+    cache = None
+    if args.cache_mb > 0.0:
+        from repro.core.cache import SemanticCache
+
+        cache = SemanticCache(int(args.cache_mb * 1024 * 1024))
+
+    registry = MetricsRegistry()
+    db.set_metrics_registry(registry)
+    with QueryEngine(
+        store,
+        workers=args.workers,
+        registry=registry,
+        governor=governor,
+        cache=cache,
+    ) as engine:
+        result = run_open_loop(engine, config)
+    print(result.to_text())
+
+    report = result.to_json()
+    if capacity is not None:
+        report["capacity_qps"] = round(capacity, 1)
+        report["rate_multiple"] = args.rate_multiple
+    problems = validate_slo_report(report)
+    if problems:
+        raise InvariantError(
+            "generated report fails its own schema", problems=problems
+        )
+    if args.json:
+        Path(args.json).write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {args.json}")
+    if args.metrics:
         print()
         print(registry.report())
     db.close()

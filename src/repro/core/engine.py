@@ -46,6 +46,18 @@ Robustness knobs (all per-engine):
   recorded, and uniform groups take the same base-mesh degradation
   path as a deadline miss — the batch keeps serving while an operator
   runs ``python -m repro fsck --repair``.
+* **admission control** — with a :class:`CostGovernor` attached, the
+  *open-loop* submission path (:meth:`QueryEngine.submit`) estimates
+  every request's I/O cost with the paper's DA cost model (Section
+  5.3, formula (1) — the same estimator the multi-base optimiser
+  uses) *before* execution.  A request whose cost fits the in-flight
+  budget is admitted at full fidelity; one that does not is
+  *degraded* to the base-mesh path (overload, not faults, triggering
+  the same ``e' > e`` approximation) while degraded headroom lasts,
+  and *shed* beyond that — answered inline from a cached base-mesh
+  snapshot with zero queueing, so an overloaded engine keeps bounded
+  latency instead of collapsing.  Per-tenant token buckets (metered
+  in cost units) keep one hot tenant from starving the rest.
 
 Results are byte-identical to the sequential query processors in
 :mod:`repro.core.query` (same nodes, same ``retrieved`` count) in the
@@ -67,12 +79,14 @@ Usage::
 
 from __future__ import annotations
 
+import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Iterable, Sequence, Union
+from typing import TYPE_CHECKING, Callable, Iterable, Sequence, Union
 
 from repro.core.cache import CacheStats, SemanticCache
+from repro.core.cost_model import RTreeCostModel
 from repro.core.query import (
     DMQueryResult,
     clamp_lod,
@@ -84,6 +98,7 @@ from repro.core.query import (
 from repro.errors import (
     DeadlineExceededError,
     InvariantError,
+    OverloadShedError,
     PageCorruptionError,
     QueryError,
     TransientIOError,
@@ -104,10 +119,21 @@ __all__ = [
     "QueryMetrics",
     "QueryOutcome",
     "DEDUP_MODES",
+    "ADMIT",
+    "DEGRADE",
+    "SHED",
+    "AdmissionDecision",
+    "CostGovernor",
+    "TokenBucket",
 ]
 
 #: Supported deduplication policies (see :class:`QueryEngine`).
 DEDUP_MODES = ("off", "exact", "subsume")
+
+#: Admission actions (see :class:`CostGovernor.decide`).
+ADMIT = "admit"
+DEGRADE = "degrade"
+SHED = "shed"
 
 
 @dataclass(frozen=True)
@@ -194,9 +220,11 @@ class QueryOutcome:
     """One request's result (or failure) plus its metrics.
 
     Exactly one of ``result`` / ``error`` is set.  ``degraded`` marks
-    a uniform request answered at a coarser LOD under deadline
-    pressure; ``attempts`` counts execution attempts including
-    retries.
+    a uniform request answered at a coarser LOD under deadline,
+    corruption, or overload pressure; ``shed`` marks an outcome the
+    admission controller refused to execute at full fidelity (shed
+    uniform requests still carry a well-formed base-mesh ``result``);
+    ``attempts`` counts execution attempts including retries.
     """
 
     request: EngineRequest
@@ -205,11 +233,242 @@ class QueryOutcome:
     error: Exception | None = None
     attempts: int = 1
     degraded: bool = False
+    shed: bool = False
 
     @property
     def ok(self) -> bool:
         """True when the request produced a result."""
         return self.error is None
+
+
+class TokenBucket:
+    """A thread-safe token bucket metered in *cost units*.
+
+    The :class:`CostGovernor` keeps one per tenant, refilled at
+    ``rate`` units per second up to ``burst``; a request is charged
+    its estimated disk accesses, so a tenant issuing few expensive
+    queries and one issuing many cheap queries drain their buckets at
+    the same (cost-weighted) pace — fair queueing in the currency the
+    disks actually spend.
+
+    ``clock`` is injectable so admission decisions are unit-testable
+    with a deterministic clock (no sleeps, no wall-time flake).
+    """
+
+    __slots__ = ("_burst", "_clock", "_last", "_lock", "_rate", "_tokens")
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate <= 0:
+            raise QueryError(f"token rate must be > 0, got {rate}")
+        if burst <= 0:
+            raise QueryError(f"token burst must be > 0, got {burst}")
+        self._lock = threading.Lock()
+        self._rate = rate
+        self._burst = burst
+        self._clock = clock
+        self._tokens = burst
+        self._last = clock()
+
+    def _refill_locked(self) -> None:
+        """Advance the bucket to the current clock reading."""
+        now = self._clock()
+        elapsed = now - self._last
+        self._last = now
+        if elapsed > 0:
+            self._tokens = min(self._burst, self._tokens + elapsed * self._rate)
+
+    def try_take(self, amount: float) -> bool:
+        """Atomically consume ``amount`` tokens; False when short.
+
+        A failed take consumes nothing (no partial debits), so a
+        request denied here can still be served by the degraded path
+        without distorting the tenant's balance.
+        """
+        with self._lock:
+            self._refill_locked()
+            if amount <= self._tokens + 1e-9:
+                self._tokens -= amount
+                return True
+            return False
+
+    @property
+    def tokens(self) -> float:
+        """Current balance (after refilling to the clock)."""
+        with self._lock:
+            self._refill_locked()
+            return self._tokens
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """One request's verdict from the :class:`CostGovernor`.
+
+    ``reserved_cost`` is what was debited from the in-flight budget
+    (the full estimate for :data:`ADMIT`, the degraded-probe cost for
+    :data:`DEGRADE`, zero for :data:`SHED`) and must be released when
+    the request completes.  ``throttled`` records that the tenant's
+    token bucket denied full fidelity, whatever the final action.
+    """
+
+    action: str
+    estimated_cost: float
+    reserved_cost: float
+    throttled: bool = False
+
+
+class CostGovernor:
+    """Cost-based admission control for the open-loop serving path.
+
+    The paper's DA cost model (Section 5.3, formula (1)) estimates a
+    range query's disk accesses in O(1) from aggregate R*-tree node
+    statistics; the multi-base optimiser already trusts it to choose
+    query plans, and this class reuses it as an *admission estimator*:
+    the sum of estimates of everything currently executing is a
+    predicted I/O backlog, and holding that sum under a budget bounds
+    queueing ahead of time instead of discovering collapse in p999.
+
+    Decision ladder for a request of estimated cost ``c``:
+
+    1. **admit** — tenant bucket grants ``min(c, burst)`` and
+       ``inflight + c <= budget``: reserve ``c``, run at full
+       fidelity.
+    2. **degrade** — otherwise, while ``inflight + degraded_cost <=
+       budget * degrade_headroom`` (and the request is degradable):
+       reserve only ``degraded_cost`` and serve the base mesh — the
+       paper's ``e' > e`` guarantee makes that a *valid* cheaper
+       answer, so overload sheds fidelity before it sheds requests.
+    3. **shed** — beyond headroom: reserve nothing; the engine
+       answers from its base-mesh snapshot with zero queueing.
+
+    Because every executing request reserves at least
+    ``min(1, degraded_cost)`` units, the number in flight — hence the
+    executor queue — is bounded by ``budget * degrade_headroom``
+    regardless of the offered rate.
+
+    Args:
+        cost_model: the store's :class:`RTreeCostModel`
+            (``store.cost_model``).
+        budget: in-flight estimated-disk-access budget for
+            full-fidelity admissions.
+        degraded_cost: reserved cost of one base-mesh probe (a
+            handful of root records; default 1 page).
+        degrade_headroom: multiple of ``budget`` the degraded tier
+            may fill before requests are shed outright.
+        tenant_rate: per-tenant token refill in cost units/second
+            (``None`` disables per-tenant fairness).
+        tenant_burst: per-tenant bucket capacity (defaults to
+            ``budget`` when ``tenant_rate`` is set).
+        clock: time source for the buckets (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        cost_model: RTreeCostModel,
+        budget: float,
+        degraded_cost: float = 1.0,
+        degrade_headroom: float = 2.0,
+        tenant_rate: float | None = None,
+        tenant_burst: float | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if budget <= 0:
+            raise QueryError(f"budget must be > 0, got {budget}")
+        if degraded_cost <= 0:
+            raise QueryError(
+                f"degraded_cost must be > 0, got {degraded_cost}"
+            )
+        if degrade_headroom < 1.0:
+            raise QueryError(
+                f"degrade_headroom must be >= 1, got {degrade_headroom}"
+            )
+        if tenant_rate is not None and tenant_rate <= 0:
+            raise QueryError(
+                f"tenant_rate must be > 0 or None, got {tenant_rate}"
+            )
+        self._cost_model = cost_model
+        self._budget = budget
+        self._degraded_cost = degraded_cost
+        self._degrade_headroom = degrade_headroom
+        self._tenant_rate = tenant_rate
+        self._tenant_burst = (
+            budget if tenant_burst is None else tenant_burst
+        )
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._inflight = 0.0
+        self._buckets: dict[str, TokenBucket] = {}
+
+    @property
+    def budget(self) -> float:
+        """Full-fidelity in-flight cost budget."""
+        return self._budget
+
+    @property
+    def inflight_cost(self) -> float:
+        """Sum of reserved cost currently executing."""
+        with self._lock:
+            return self._inflight
+
+    def estimate(self, box: Box3) -> float:
+        """Estimated disk accesses of a probe (formula (1)), floored
+        at one page — even a miss pays an index descent."""
+        return max(1.0, self._cost_model.estimate(box))
+
+    def _tenant_bucket(self, tenant: str) -> TokenBucket | None:
+        if self._tenant_rate is None:
+            return None
+        with self._lock:
+            bucket = self._buckets.get(tenant)
+            if bucket is None:
+                bucket = TokenBucket(
+                    self._tenant_rate, self._tenant_burst, clock=self._clock
+                )
+                self._buckets[tenant] = bucket
+            return bucket
+
+    def decide(
+        self, tenant: str, cost: float, degradable: bool = True
+    ) -> AdmissionDecision:
+        """Admit, degrade, or shed a request of estimated ``cost``.
+
+        The charge against the tenant bucket is capped at the burst
+        size so a single query costlier than the whole bucket can
+        still (eventually) be admitted rather than starving forever.
+        """
+        bucket = self._tenant_bucket(tenant)
+        throttled = bucket is not None and not bucket.try_take(
+            min(cost, self._tenant_burst)
+        )
+        with self._lock:
+            if not throttled and self._inflight + cost <= self._budget:
+                self._inflight += cost
+                return AdmissionDecision(ADMIT, cost, cost)
+            ceiling = self._budget * self._degrade_headroom
+            if degradable and self._inflight + self._degraded_cost <= ceiling:
+                self._inflight += self._degraded_cost
+                return AdmissionDecision(
+                    DEGRADE, cost, self._degraded_cost, throttled=throttled
+                )
+            return AdmissionDecision(SHED, cost, 0.0, throttled=throttled)
+
+    def release(self, reserved: float) -> None:
+        """Return a completed request's reservation to the budget."""
+        if reserved <= 0:
+            return
+        with self._lock:
+            self._inflight = max(0.0, self._inflight - reserved)
+
+
+def _resolved(outcome: QueryOutcome) -> "Future[QueryOutcome]":
+    """An already-completed future (cache hits, shed answers)."""
+    future: "Future[QueryOutcome]" = Future()
+    future.set_result(outcome)
+    return future
 
 
 class _NodeTally:
@@ -274,6 +533,11 @@ class QueryEngine:
             scalar per-record reference path.
         quarantine_cap: bound on the corrupt-page quarantine set (see
             :attr:`quarantine`); oldest entries fall off first.
+        governor: a :class:`CostGovernor` giving the open-loop
+            :meth:`submit` path cost-based admission control; batch
+            execution (:meth:`run_batch`) is closed-loop by
+            construction and stays ungoverned.  ``None`` admits
+            everything (the ``--no-admission`` baseline).
     """
 
     def __init__(
@@ -289,6 +553,7 @@ class QueryEngine:
         cache: SemanticCache | None = None,
         vectorized: bool = True,
         quarantine_cap: int = 256,
+        governor: CostGovernor | None = None,
     ) -> None:
         if workers < 1:
             raise QueryError(f"workers must be >= 1, got {workers}")
@@ -314,6 +579,12 @@ class QueryEngine:
         self._deadline_s = deadline_s
         self._degrade = degrade
         self._cache = cache
+        self._governor = governor
+        # Base-mesh snapshot for the shed path, fetched once on first
+        # shed (double-checked under _base_lock: submit() is called
+        # from arbitrary client threads).
+        self._base_lock = threading.Lock()
+        self._base_columns: DMNodeColumns | None = None
         # Cache entries are columnar pages, so the cache implies the
         # columnar fetch path even when ``vectorized`` is off.
         self._columnar = vectorized or cache is not None
@@ -334,9 +605,19 @@ class QueryEngine:
         return self._workers
 
     @property
+    def store(self) -> "DirectMeshStore":
+        """The store this engine serves from."""
+        return self._store
+
+    @property
     def cache(self) -> SemanticCache | None:
         """The attached semantic cache (None when caching is off)."""
         return self._cache
+
+    @property
+    def governor(self) -> CostGovernor | None:
+        """The attached admission controller (None = admit all)."""
+        return self._governor
 
     def close(self) -> None:
         """Shut the worker pool down (idempotent)."""
@@ -353,6 +634,181 @@ class QueryEngine:
     def run(self, request: EngineRequest) -> QueryOutcome:
         """Convenience: run a single request."""
         return self.run_batch([request])[0]
+
+    # -- open-loop submission (admission-controlled) -----------------------
+
+    def submit(
+        self, request: EngineRequest, tenant: str = "default"
+    ) -> "Future[QueryOutcome]":
+        """Submit one request asynchronously (the open-loop path).
+
+        Unlike :meth:`run_batch` — where a closed-loop caller
+        self-limits by waiting — ``submit`` returns immediately, so an
+        open-loop arrival process can outrun capacity.  With a
+        :class:`CostGovernor` attached, the request's cost is
+        estimated *in the caller's thread* before anything is queued:
+        admitted requests execute at full fidelity, overload-degraded
+        ones run the cheap base-mesh probe, and shed ones are answered
+        inline from the base-mesh snapshot (or an
+        :class:`~repro.errors.OverloadShedError` outcome when not
+        degradable) without ever touching the executor queue.
+
+        The per-request deadline starts at submission.  A cache hit
+        bypasses admission entirely: it costs one vectorized filter
+        and no I/O, so there is nothing to govern.
+        """
+        registry = self.registry
+        registry.counter("engine.requests").inc()
+        deadline = (
+            None
+            if self._deadline_s is None
+            else time.monotonic() + self._deadline_s
+        )
+        cache = self._cache
+        if cache is not None:
+            columns = cache.lookup(request.query_box(self._store.e_cap))
+            if columns is not None:
+                return _resolved(self._cached_outcome(request, columns))
+        governor = self._governor
+        if governor is None:
+            return self._submit_task(request, deadline, 0.0, degraded=False)
+        cost = governor.estimate(request.query_box(self._store.e_cap))
+        registry.histogram("slo.estimated_cost").observe(cost)
+        degradable = self._degrade and isinstance(request, UniformRequest)
+        decision = governor.decide(tenant, cost, degradable=degradable)
+        registry.gauge("slo.inflight_cost").set(governor.inflight_cost)
+        if decision.throttled:
+            registry.counter("slo.tenant_throttled").inc()
+        if decision.action == ADMIT:
+            registry.counter("engine.admitted").inc()
+            return self._submit_task(
+                request, deadline, decision.reserved_cost, degraded=False
+            )
+        if decision.action == DEGRADE:
+            registry.counter("engine.overload_degraded").inc()
+            return self._submit_task(
+                request, deadline, decision.reserved_cost, degraded=True
+            )
+        registry.counter("engine.shed").inc()
+        return _resolved(self._shed_outcome(request))
+
+    def _submit_task(
+        self,
+        request: EngineRequest,
+        deadline: float | None,
+        reserved: float,
+        degraded: bool,
+    ) -> "Future[QueryOutcome]":
+        """Queue one request on the pool, releasing its reservation
+        (and the queue-depth gauge) however execution ends."""
+        group = self._single_group(request)
+        queue_depth = self.registry.gauge("slo.queue_depth")
+        queue_depth.add(1)
+
+        def task() -> QueryOutcome:
+            try:
+                if degraded:
+                    outcomes = self._run_overload_degraded(group)
+                else:
+                    outcomes = self._execute_with_policy(group, deadline)
+                return outcomes[0]
+            finally:
+                queue_depth.add(-1)
+                governor = self._governor
+                if governor is not None and reserved > 0:
+                    governor.release(reserved)
+                    self.registry.gauge("slo.inflight_cost").set(
+                        governor.inflight_cost
+                    )
+
+        return self._pool.submit(task)
+
+    def _single_group(self, request: EngineRequest) -> _Group:
+        """A one-request group (the submit path never dedups)."""
+        e_cap = self._store.e_cap
+        box = request.query_box(e_cap)
+        if self._cache is not None:
+            box = self._cache.inflate(box, e_cap)
+        return _Group(box, [0], [request])
+
+    def _run_overload_degraded(self, group: _Group) -> list[QueryOutcome]:
+        """Serve a group at the base mesh because admission said so.
+
+        Same mechanism as a deadline miss (``_execute_degraded``), but
+        triggered by predicted overload before any work was wasted.
+        """
+        try:
+            outcomes = self._execute_degraded(group)
+        except Exception as exc:
+            return self._error_outcomes(group, exc, 1)
+        self.registry.counter("engine.degraded").inc(len(group.requests))
+        for outcome in outcomes:
+            outcome.degraded = True
+        return outcomes
+
+    def _shed_outcome(self, request: EngineRequest) -> QueryOutcome:
+        """Answer a shed request from the base-mesh snapshot, inline.
+
+        Costs one vectorized filter in the caller's thread — no
+        executor slot, no index probe, no disk.  Non-degradable
+        requests (and an unbuildable snapshot) get an
+        :class:`~repro.errors.OverloadShedError` outcome instead.
+        """
+        started = time.perf_counter()
+        columns = (
+            self._base_snapshot()
+            if self._degrade and isinstance(request, UniformRequest)
+            else None
+        )
+        if columns is None or not isinstance(request, UniformRequest):
+            self.registry.counter("engine.errors").inc()
+            error = OverloadShedError(
+                "admission control shed the request and no degraded "
+                "answer was possible"
+            )
+            return QueryOutcome(
+                request, None, QueryMetrics(), error=error, shed=True
+            )
+        coarse = UniformRequest(request.roi, self._store.max_lod)
+        result = DMQueryResult(
+            nodes=coarse.filter(columns), retrieved=len(columns)
+        )
+        filter_s = time.perf_counter() - started
+        metrics = QueryMetrics(
+            filter_s=filter_s, total_s=filter_s, cached=True
+        )
+        self.registry.counter("engine.degraded").inc()
+        self.registry.histogram("engine.filter_s").observe(filter_s)
+        return QueryOutcome(
+            request, result, metrics, degraded=True, shed=True
+        )
+
+    def _base_snapshot(self) -> DMNodeColumns | None:
+        """The base mesh as one cached columnar page set.
+
+        Fetched once (double-checked locking: submit() races from
+        many client threads) and shared read-only afterwards — root
+        records are immutable for the life of the store.
+        """
+        if self._base_columns is None:
+            with self._base_lock:
+                if self._base_columns is None:
+                    store = self._store
+                    space = store.rtree.data_space
+                    if space is None:
+                        return None
+                    probe = UniformRequest(space.rect, store.max_lod)
+                    try:
+                        rids = store.rtree.search(
+                            probe.query_box(store.e_cap)
+                        )
+                        self._base_columns = store.read_records_columnar(
+                            rids
+                        )
+                    except Exception:
+                        # Leave unset: the next shed retries the fetch.
+                        return None
+        return self._base_columns
 
     def run_batch(
         self, requests: Sequence[EngineRequest]

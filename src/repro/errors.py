@@ -148,5 +148,18 @@ class DeadlineExceededError(QueryError):
     """
 
 
+class OverloadShedError(QueryError):
+    """A request was shed by admission control and could not be
+    answered even by the degraded base-mesh path.
+
+    The :class:`~repro.core.engine.CostGovernor` sheds requests whose
+    estimated cost does not fit the in-flight budget.  Shed *uniform*
+    requests are normally answered from the engine's base-mesh
+    snapshot (a well-formed degraded result, not an error); this error
+    surfaces only for non-degradable requests or when no snapshot can
+    be built (e.g. an empty store).
+    """
+
+
 class DatasetError(ReproError):
     """A dataset could not be generated, loaded, or cached."""

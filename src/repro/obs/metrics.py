@@ -26,6 +26,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "HistogramSnapshot",
+    "METRIC_FAMILIES",
     "METRIC_NAMES",
     "METRIC_PREFIXES",
     "MetricsRegistry",
@@ -56,6 +57,10 @@ METRIC_NAMES: frozenset[str] = frozenset(
         "engine.deadline_misses",
         "engine.degraded",
         "engine.corruptions",
+        # -- admission control (CostGovernor) ------------------------------
+        "engine.admitted",
+        "engine.shed",
+        "engine.overload_degraded",
         "engine.index_s",
         "engine.fetch_s",
         "engine.filter_s",
@@ -74,6 +79,12 @@ METRIC_NAMES: frozenset[str] = frozenset(
         # -- benchmark harness ---------------------------------------------
         "bench.cold_query_s",
         "bench.batch_s",
+        # -- open-loop SLO serving -----------------------------------------
+        "slo.estimated_cost",
+        "slo.inflight_cost",
+        "slo.queue_depth",
+        "slo.latency_s",
+        "slo.tenant_throttled",
         # -- storage integrity ---------------------------------------------
         "storage.crc_failures",
         "fsck.pages_scanned",
@@ -90,6 +101,25 @@ METRIC_NAMES: frozenset[str] = frozenset(
 METRIC_PREFIXES: frozenset[str] = frozenset(
     {
         "io.reads.",
+    }
+)
+
+#: The metric *families* (the segment before the first dot) names may
+#: belong to.  Every entry of :data:`METRIC_NAMES` and
+#: :data:`METRIC_PREFIXES` must use one of these heads and the
+#: ``family.metric_name`` grammar — enforced statically by
+#: ``reprolint`` rule R8, so a registry addition cannot smuggle in a
+#: misspelt family (``slo`` vs ``sol``) that would dodge dashboards
+#: grouping by family.
+METRIC_FAMILIES: frozenset[str] = frozenset(
+    {
+        "bench",
+        "cache",
+        "engine",
+        "fsck",
+        "io",
+        "slo",
+        "storage",
     }
 )
 
@@ -154,7 +184,13 @@ class Gauge:
 
 @dataclass(frozen=True)
 class HistogramSnapshot:
-    """Immutable summary of a histogram's observations."""
+    """Immutable summary of a histogram's observations.
+
+    Tail percentiles (``p99``/``p999``) are estimated over the
+    retained samples like ``p50``/``p95``; with fewer than ~1000
+    observations ``p999`` collapses toward ``max``, which is the
+    honest answer for a thin tail.
+    """
 
     count: int
     total: float
@@ -162,6 +198,8 @@ class HistogramSnapshot:
     max: float
     p50: float
     p95: float
+    p99: float = 0.0
+    p999: float = 0.0
 
     @property
     def mean(self) -> float:
@@ -249,6 +287,8 @@ class Histogram:
             hi,
             self._percentile_of(samples, 50),
             self._percentile_of(samples, 95),
+            self._percentile_of(samples, 99),
+            self._percentile_of(samples, 99.9),
         )
 
 

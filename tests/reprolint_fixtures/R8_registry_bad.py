@@ -1,0 +1,20 @@
+# reprolint-fixture: path=src/repro/obs/metrics.py
+# Registry entries must follow the family.metric grammar with a family
+# declared in METRIC_FAMILIES; a misspelt family ("sol" for "slo")
+# sails through R5 but dodges every dashboard grouping by family.
+METRIC_NAMES = frozenset(
+    {
+        "engine.requests",
+        "sol.queue_depth",  # [R8]
+        "engine_requests",  # [R8]
+        "engine.Query.S",  # [R8]
+        "cache.hits.",  # [R8]
+    }
+)
+
+METRIC_PREFIXES = frozenset(
+    {
+        "io.reads",  # [R8]
+        "quux.segments.",  # [R8]
+    }
+)

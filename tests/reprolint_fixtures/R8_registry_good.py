@@ -1,0 +1,19 @@
+# reprolint-fixture: path=src/repro/obs/metrics.py
+# Well-formed registry: every name is family.metric with a declared
+# family head, and prefixes end with "." for dynamic suffixes.
+METRIC_NAMES: frozenset[str] = frozenset(
+    {
+        "engine.requests",
+        "slo.queue_depth",
+        "engine.query_s",
+        "fsck.pages_scanned",
+    }
+)
+
+METRIC_PREFIXES: frozenset[str] = frozenset(
+    {
+        "io.reads.",
+    }
+)
+
+OTHER_NAMES = frozenset({"not.a.registry", "so R8 ignores it"})

@@ -1,0 +1,179 @@
+"""The nightly bench gate: run matching, thresholds, exemptions."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.compare import (
+    compare_files,
+    compare_reports,
+    extract_slo_runs,
+    run_key,
+)
+from repro.errors import QueryError
+
+
+def make_run(
+    mode="zipf",
+    admission=True,
+    p99_ms=20.0,
+    rate_multiple=2.0,
+) -> dict:
+    report = {
+        "schema": "repro.bench.slo/v1",
+        "mode": mode,
+        "seed": 0,
+        "offered_rate": 500.0,
+        "requests": 400,
+        "slo_ms": 50.0,
+        "tenants": 4,
+        "admission": admission,
+        "wall_s": 1.0,
+        "achieved_rate": 400.0,
+        "latency_ms": {
+            "p50": p99_ms / 4,
+            "p95": p99_ms / 2,
+            "p99": p99_ms,
+            "p999": p99_ms * 1.5,
+            "max": p99_ms * 2,
+        },
+        "goodput_qps": 300.0,
+        "degraded_goodput_qps": 50.0,
+        "goodput_slo_fraction": 0.75,
+        "counts": {
+            "ok": 400,
+            "errors": 0,
+            "degraded": 60,
+            "shed": 20,
+            "admitted": 320,
+            "overload_degraded": 40,
+            "throttled": 0,
+        },
+        "max_queue_depth": 12,
+        "dispatch_lag_ms": 0.5,
+    }
+    if rate_multiple is not None:
+        report["rate_multiple"] = rate_multiple
+    return report
+
+
+class TestExtract:
+    def test_accepts_merged_bench_layout(self):
+        payload = {"bench": 6, "slo_openloop": {"runs": [make_run()]}}
+        assert len(extract_slo_runs(payload)) == 1
+
+    def test_accepts_bare_runs_and_single_report(self):
+        assert len(extract_slo_runs({"runs": [make_run()] * 2})) == 2
+        assert len(extract_slo_runs(make_run())) == 1
+
+    def test_rejects_invalid_run(self):
+        bad = make_run()
+        del bad["latency_ms"]["p99"]
+        with pytest.raises(QueryError):
+            extract_slo_runs({"runs": [bad]})
+
+    def test_rejects_run_free_payload(self):
+        with pytest.raises(QueryError):
+            extract_slo_runs(42)
+
+
+class TestRunKey:
+    def test_distinguishes_mode_rate_and_admission(self):
+        keys = {
+            run_key(make_run(mode="zipf")),
+            run_key(make_run(mode="flightpath")),
+            run_key(make_run(admission=False)),
+            run_key(make_run(rate_multiple=4.0)),
+            run_key(make_run(rate_multiple=None)),
+        }
+        assert len(keys) == 5
+
+    def test_stable_across_measurement_noise(self):
+        assert run_key(make_run(p99_ms=10)) == run_key(make_run(p99_ms=99))
+
+
+class TestGate:
+    def test_within_threshold_passes(self):
+        baseline = [make_run(p99_ms=20.0)]
+        candidate = [make_run(p99_ms=24.0)]
+        result = compare_reports(baseline, candidate, 0.25)
+        assert result.ok
+        assert "PASS" in result.to_text()
+
+    def test_beyond_threshold_fails(self):
+        baseline = [make_run(p99_ms=20.0)]
+        candidate = [make_run(p99_ms=26.0)]
+        result = compare_reports(baseline, candidate, 0.25)
+        assert not result.ok
+        assert "FAIL" in result.to_text()
+        assert result.rows[0].ratio == pytest.approx(1.3)
+
+    def test_no_admission_runs_are_exempt(self):
+        baseline = [make_run(admission=False, p99_ms=20.0)]
+        candidate = [make_run(admission=False, p99_ms=500.0)]
+        assert compare_reports(baseline, candidate, 0.25).ok
+
+    def test_new_cell_without_baseline_passes(self):
+        baseline = [make_run(mode="zipf")]
+        candidate = [make_run(mode="zipf"), make_run(mode="flightpath")]
+        result = compare_reports(baseline, candidate, 0.25)
+        assert result.ok
+        new_row = [r for r in result.rows if r.baseline_p99_ms is None]
+        assert len(new_row) == 1
+        assert "NEW" in result.to_text()
+
+    def test_sub_millisecond_noise_is_ignored(self):
+        baseline = [make_run(p99_ms=0.2)]
+        candidate = [make_run(p99_ms=0.9)]  # 4.5x but under the floor
+        assert compare_reports(baseline, candidate, 0.25).ok
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(QueryError):
+            compare_reports([], [], max_p99_regression=0.0)
+
+
+class TestFilesAndScript:
+    def write(self, path, runs):
+        path.write_text(
+            json.dumps({"bench": 6, "slo_openloop": {"runs": runs}})
+        )
+
+    def test_compare_files_round_trip(self, tmp_path):
+        base, cand = tmp_path / "base.json", tmp_path / "cand.json"
+        self.write(base, [make_run(p99_ms=20.0)])
+        self.write(cand, [make_run(p99_ms=21.0)])
+        assert compare_files(base, cand).ok
+
+    def test_script_exit_codes(self, tmp_path):
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        script = (
+            Path(__file__).resolve().parent.parent
+            / "scripts"
+            / "bench_compare.py"
+        )
+        base, cand = tmp_path / "base.json", tmp_path / "cand.json"
+        self.write(base, [make_run(p99_ms=20.0)])
+        self.write(cand, [make_run(p99_ms=60.0)])
+        failing = subprocess.run(
+            [sys.executable, str(script), str(base), str(cand)],
+            capture_output=True,
+            text=True,
+        )
+        assert failing.returncode == 1, failing.stdout + failing.stderr
+        passing = subprocess.run(
+            [sys.executable, str(script), str(base), str(base)],
+            capture_output=True,
+            text=True,
+        )
+        assert passing.returncode == 0, passing.stdout + passing.stderr
+        missing = subprocess.run(
+            [sys.executable, str(script), str(base), str(tmp_path / "x")],
+            capture_output=True,
+            text=True,
+        )
+        assert missing.returncode == 2

@@ -94,6 +94,7 @@ def test_rule_ids_are_stable() -> None:
         "R5",
         "R6",
         "R7",
+        "R8",
     ]
 
 
@@ -225,5 +226,5 @@ def test_cli_clean_file_exits_zero(tmp_path: Path) -> None:
 def test_cli_list_rules() -> None:
     result = _run_cli("--list-rules")
     assert result.returncode == 0
-    for rule_id in ("R1", "R2", "R3", "R4", "R5", "R6", "R7"):
+    for rule_id in ("R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8"):
         assert rule_id in result.stdout
