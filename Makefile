@@ -6,7 +6,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test test-fast lint lint-repro typecheck ci stress perf-smoke slo-smoke bench-slo fsck bench report examples clean
+.PHONY: install test test-fast lint lint-repro typecheck ci stress perf-smoke slo-smoke session-smoke bench-slo bench-session fsck bench report examples clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -75,6 +75,25 @@ bench-slo:
 	cp BENCH_6.json /tmp/repro-bench-baseline.json
 	$(PYTHON) -m pytest benchmarks/test_slo_openloop.py --benchmark-only -q
 	$(PYTHON) scripts/bench_compare.py /tmp/repro-bench-baseline.json BENCH_6.json
+
+# Delta-session smoke: a short run of the transmission matrix with a
+# relaxed reduction guard (delta must merely halve naive's bytes; the
+# honest >= 5x number comes from the nightly bench at defaults).
+# Every frame is still decoded client-side and verified against the
+# engine's answer.  Mirrors the `session-smoke` job in CI.
+SESSION_SMOKE_FRAMES ?= 80
+SESSION_SMOKE_REDUCTION ?= 2.0
+session-smoke:
+	REPRO_SESSION_FRAMES=$(SESSION_SMOKE_FRAMES) \
+	REPRO_SESSION_REDUCTION=$(SESSION_SMOKE_REDUCTION) \
+	$(PYTHON) -m pytest benchmarks/test_session_delta.py --benchmark-only -q
+
+# Full delta-session matrix at the honest >= 5x reduction guard + the
+# nightly regression gate against the committed BENCH_7.json baseline.
+bench-session:
+	cp BENCH_7.json /tmp/repro-bench7-baseline.json
+	$(PYTHON) -m pytest benchmarks/test_session_delta.py --benchmark-only -q
+	$(PYTHON) scripts/bench_compare.py /tmp/repro-bench7-baseline.json BENCH_7.json
 
 # Integrity drill: build a throwaway database, scrub it (must be
 # clean), snapshot, inject seeded corruption (scrub must now fail),

@@ -1,0 +1,182 @@
+"""Delta-session transmission matrix: the PR-7 wire-format numbers.
+
+Streams the flight-path workload as progressive-transmission sessions
+(``delta`` transport: varint-coded delta frames over
+:class:`~repro.core.streaming.EngineSession`) and as stateless
+re-query (``naive`` transport: every frame a full keyframe), at a
+warm step (small camera motion, heavy overlap) and a churny step.
+Every run's schema-versioned report is merged into ``BENCH_7.json``
+(the nightly ``scripts/bench_compare.py`` gate reads it) and the
+summary table lands in ``results/*.csv``.
+
+Asserted (guards env-tunable so the CI smoke job can run short):
+
+* the warm cell ships ``REPRO_SESSION_REDUCTION`` (default 5x) fewer
+  bytes-on-wire than naive re-query — the ISSUE 7 acceptance
+  criterion;
+* even the churny cell beats naive on bytes;
+* every frame decodes client-side to a mesh node-id-identical to the
+  engine's answer (``verify=True`` raises on divergence);
+* every report validates against :data:`SESSION_REPORT_SCHEMA`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.bench.openloop import (
+    SESSION_TRANSPORTS,
+    OpenLoopConfig,
+    run_delta_sessions,
+    validate_session_report,
+)
+from repro.bench.reporting import SeriesTable
+from repro.core import DirectMeshStore
+from repro.core.cache import SemanticCache
+from repro.core.engine import QueryEngine
+from repro.obs.metrics import MetricsRegistry
+from repro.storage import Database
+from repro.terrain import dataset_by_name
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_7.json"
+
+N_FRAMES = int(os.environ.get("REPRO_SESSION_FRAMES", "200"))
+#: Warm-cell bytes-on-wire reduction the gate demands (naive/delta).
+REDUCTION = float(os.environ.get("REPRO_SESSION_REDUCTION", "5.0"))
+WORKERS = 4
+SESSIONS = 4
+POOL_PAGES = 48
+CACHE_BYTES = 1 << 22
+
+#: (label, step_frac): the warm cell is the acceptance criterion —
+#: small camera steps, heavily overlapping frames; the churny cell
+#: moves a third of the ROI per frame and only has to beat naive.
+STEPS = (("warm", 0.03), ("churny", 0.3))
+
+
+def _merge_bench_json(section: str, payload: dict) -> None:
+    """Merge one measurement into ``BENCH_7.json`` (read-modify-write:
+    tests may run in any subset/order)."""
+    data = {}
+    if BENCH_JSON.exists():
+        data = json.loads(BENCH_JSON.read_text(encoding="ascii"))
+    data["bench"] = 7
+    data[section] = payload
+    BENCH_JSON.write_text(
+        json.dumps(data, indent=2, sort_keys=True) + "\n", encoding="ascii"
+    )
+
+
+@pytest.fixture(scope="module")
+def session_store(tmp_path_factory):
+    dataset = dataset_by_name("foothills", 4000, seed=3)
+    db = Database(
+        tmp_path_factory.mktemp("session_serve_db"),
+        pool_pages=POOL_PAGES,
+    )
+    store = DirectMeshStore.build(dataset.pm, db, dataset.connections)
+    yield store
+    db.close()
+
+
+def _config(step_frac: float) -> OpenLoopConfig:
+    return OpenLoopConfig(
+        offered_rate=1.0,  # Closed-loop per frame; the rate is unused.
+        n_requests=N_FRAMES,
+        mode="flightpath",
+        seed=11,
+        roi_frac=0.35,
+        step_frac=step_frac,
+        lod_breathe=0.05,
+        sessions=SESSIONS,
+    )
+
+
+def _run(store, config: OpenLoopConfig, transport: str):
+    with QueryEngine(
+        store,
+        workers=WORKERS,
+        registry=MetricsRegistry(),
+        cache=SemanticCache(CACHE_BYTES),
+    ) as engine:
+        return run_delta_sessions(engine, config, transport, verify=True)
+
+
+def test_session_delta_matrix(benchmark, session_store):
+    store = session_store
+
+    def run():
+        table = SeriesTable(
+            "session_delta",
+            f"delta sessions vs naive re-query: {N_FRAMES} frames over "
+            f"{SESSIONS} sessions, bytes-on-wire and per-frame latency",
+            "run",
+            [
+                "bytes_wire",
+                "B_frame",
+                "p50_ms",
+                "p99_ms",
+                "churn",
+                "keyframes",
+            ],
+            meta={
+                "frames": N_FRAMES,
+                "sessions": SESSIONS,
+                "workers": WORKERS,
+                "pool_pages": POOL_PAGES,
+                "cache_bytes": CACHE_BYTES,
+            },
+        )
+        runs = []
+        for label, step_frac in STEPS:
+            for transport in SESSION_TRANSPORTS:
+                result = _run(store, _config(step_frac), transport)
+                runs.append(result.to_json())
+                table.add_row(
+                    f"{label}/{transport}",
+                    {
+                        "bytes_wire": result.bytes_wire,
+                        "B_frame": round(result.bytes_per_frame, 1),
+                        "p50_ms": round(result.percentile_ms(50), 2),
+                        "p99_ms": round(result.percentile_ms(99), 2),
+                        "churn": round(result.churn_mean, 3),
+                        "keyframes": result.n_keyframes,
+                    },
+                )
+        return runs, table
+
+    runs, table = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(table)
+    _merge_bench_json("session_delta", {"runs": runs})
+
+    # Every report self-validates — the nightly gate consumes these.
+    for report in runs:
+        problems = validate_session_report(report)
+        assert problems == [], (
+            f"invalid report {report['transport']}: {problems}"
+        )
+
+    by_key = {
+        (report["step_frac"], report["transport"]): report
+        for report in runs
+    }
+    for label, step_frac in STEPS:
+        delta = by_key[(step_frac, "delta")]
+        naive = by_key[(step_frac, "naive")]
+        reduction = naive["bytes_wire"] / delta["bytes_wire"]
+        floor = REDUCTION if label == "warm" else 1.0
+        assert reduction >= floor, (
+            f"{label}: delta ships {delta['bytes_wire']} B vs naive "
+            f"{naive['bytes_wire']} B — only {reduction:.1f}x "
+            f"(need >= {floor:g}x)"
+        )
+        # Delta statefulness shows up as keyframes: one per session,
+        # not one per frame.
+        assert delta["n_keyframes"] == SESSIONS
+        assert naive["n_keyframes"] == naive["requests"]
+        assert delta["churn_mean"] < 1.0 < naive["churn_mean"] + 1e-9

@@ -1,17 +1,20 @@
-"""Regression gate over open-loop SLO bench reports.
+"""Regression gate over open-loop SLO and delta-session bench reports.
 
 The nightly bench workflow runs the open-loop matrix into
-``BENCH_6.json`` and compares it against the baseline committed in the
-repository: a p99 latency regression beyond the threshold on any
-*admission-controlled* run fails the build.  The no-admission arms are
-deliberately exempt — they exist to demonstrate latency collapse, so
-their percentiles are as large as the queue got and carry no signal.
+``BENCH_6.json`` and the delta-session matrix into ``BENCH_7.json``,
+then compares each against the baseline committed in the repository:
+a p99 latency regression beyond the threshold on any *gated* run
+fails the build.  Gated means admission-controlled for the SLO matrix
+(the no-admission arms exist to demonstrate latency collapse, so
+their percentiles carry no signal) and ``delta`` transport for the
+session matrix (the ``naive`` arm is the baseline being beaten, not a
+number we defend).
 
-Runs are matched across files by :func:`run_key` (workload mode +
-admission flag + offered-rate multiple), so a matrix can grow new
-cells without breaking comparison of the existing ones; a *missing*
-baseline cell is reported but never fails the gate (the first nightly
-after adding a cell has nothing to compare against).
+Runs are matched across files by :func:`run_key` /
+:func:`session_run_key`, so a matrix can grow new cells without
+breaking comparison of the existing ones; a *missing* baseline cell
+is reported but never fails the gate (the first nightly after adding
+a cell has nothing to compare against).
 """
 
 from __future__ import annotations
@@ -20,14 +23,16 @@ import json
 from dataclasses import dataclass, field
 from pathlib import Path
 
-from repro.bench.openloop import validate_slo_report
+from repro.bench.openloop import validate_session_report, validate_slo_report
 from repro.errors import QueryError
 
 __all__ = [
     "RunComparison",
     "ComparisonResult",
     "extract_slo_runs",
+    "extract_session_runs",
     "run_key",
+    "session_run_key",
     "compare_reports",
     "compare_files",
 ]
@@ -77,6 +82,43 @@ def run_key(report: dict) -> str:
     return f"{report['mode']}/{rate}/{admission}"
 
 
+def extract_session_runs(payload: object) -> list[dict]:
+    """The validated session runs inside one ``BENCH_7.json`` payload.
+
+    Accepts either the merged BENCH layout (``{"session_delta":
+    {"runs": [...]}}``) or a bare ``{"runs": [...]}`` / ``[...]``
+    written by ``bench-session --json``-style tooling.
+    """
+    if isinstance(payload, dict) and "session_delta" in payload:
+        payload = payload["session_delta"]
+    if isinstance(payload, dict) and "runs" in payload:
+        payload = payload["runs"]
+    if isinstance(payload, dict):
+        payload = [payload]
+    if not isinstance(payload, list):
+        raise QueryError(
+            "no session runs found", payload_type=type(payload).__name__
+        )
+    runs: list[dict] = []
+    for index, report in enumerate(payload):
+        problems = validate_session_report(report)
+        if problems:
+            raise QueryError(
+                f"session run {index} fails the report schema",
+                problems="; ".join(problems),
+            )
+        runs.append(report)
+    return runs
+
+
+def session_run_key(report: dict) -> str:
+    """A stable identity for one session matrix cell across files."""
+    return (
+        f"session/{report['mode']}/step{report['step_frac']:g}/"
+        f"{report['transport']}"
+    )
+
+
 @dataclass(frozen=True)
 class RunComparison:
     """One matrix cell's baseline-vs-candidate verdict."""
@@ -110,7 +152,8 @@ class ComparisonResult:
     def to_text(self) -> str:
         lines = [
             f"bench gate: p99 regression threshold "
-            f"{100 * self.threshold:.0f}% (admission runs only)"
+            f"{100 * self.threshold:.0f}% (gated runs only: admission "
+            f"arms and delta transport)"
         ]
         for row in self.rows:
             if row.baseline_p99_ms is None:
@@ -131,23 +174,21 @@ class ComparisonResult:
         return "\n".join(lines)
 
 
-def compare_reports(
-    baseline_runs: list[dict],
-    candidate_runs: list[dict],
-    max_p99_regression: float = DEFAULT_MAX_P99_REGRESSION,
+def _compare_rows(
+    baseline_rows: list[tuple[str, bool, dict]],
+    candidate_rows: list[tuple[str, bool, dict]],
+    max_p99_regression: float,
 ) -> ComparisonResult:
-    """Gate candidate runs against their baseline counterparts."""
+    """Gate ``(key, gated, run)`` rows against baseline counterparts."""
     if max_p99_regression <= 0:
         raise QueryError(
             f"max_p99_regression must be > 0, got {max_p99_regression}"
         )
-    baseline_by_key = {run_key(run): run for run in baseline_runs}
+    baseline_by_key = {key: run for key, _, run in baseline_rows}
     result = ComparisonResult(threshold=max_p99_regression)
-    for run in candidate_runs:
-        key = run_key(run)
+    for key, gated, run in candidate_rows:
         base = baseline_by_key.get(key)
         candidate_p99 = float(run["latency_ms"]["p99"])
-        gated = bool(run["admission"])
         if base is None:
             result.rows.append(
                 RunComparison(key, gated, None, candidate_p99, False)
@@ -166,16 +207,66 @@ def compare_reports(
     return result
 
 
+def compare_reports(
+    baseline_runs: list[dict],
+    candidate_runs: list[dict],
+    max_p99_regression: float = DEFAULT_MAX_P99_REGRESSION,
+) -> ComparisonResult:
+    """Gate candidate open-loop runs against baseline counterparts."""
+    return _compare_rows(
+        [(run_key(run), bool(run["admission"]), run)
+         for run in baseline_runs],
+        [(run_key(run), bool(run["admission"]), run)
+         for run in candidate_runs],
+        max_p99_regression,
+    )
+
+
+def _gather_rows(payload: object) -> list[tuple[str, bool, dict]]:
+    """Every gateable run in one bench JSON payload, with its key.
+
+    A merged file may carry an ``slo_openloop`` section, a
+    ``session_delta`` section, or both; the legacy bare-runs layout is
+    treated as open-loop.  Raises when neither section yields runs, so
+    a mangled file cannot silently pass the gate.
+    """
+    rows: list[tuple[str, bool, dict]] = []
+    sectioned = isinstance(payload, dict) and (
+        "slo_openloop" in payload or "session_delta" in payload
+    )
+    if not sectioned:
+        return [
+            (run_key(run), bool(run["admission"]), run)
+            for run in extract_slo_runs(payload)
+        ]
+    if isinstance(payload, dict) and "slo_openloop" in payload:
+        rows.extend(
+            (run_key(run), bool(run["admission"]), run)
+            for run in extract_slo_runs(payload)
+        )
+    if isinstance(payload, dict) and "session_delta" in payload:
+        rows.extend(
+            (session_run_key(run), run["transport"] == "delta", run)
+            for run in extract_session_runs(payload)
+        )
+    return rows
+
+
 def compare_files(
     baseline_path: str | Path,
     candidate_path: str | Path,
     max_p99_regression: float = DEFAULT_MAX_P99_REGRESSION,
 ) -> ComparisonResult:
-    """Load two bench JSON files and gate candidate against baseline."""
+    """Load two bench JSON files and gate candidate against baseline.
+
+    Gates whichever sections the candidate carries — open-loop runs
+    (``BENCH_6.json``), delta-session runs (``BENCH_7.json``), or both
+    in one merged file.
+    """
     baseline = json.loads(Path(baseline_path).read_text())
     candidate = json.loads(Path(candidate_path).read_text())
-    return compare_reports(
-        extract_slo_runs(baseline),
-        extract_slo_runs(candidate),
+    return _compare_rows(
+        _gather_rows(baseline),
+        _gather_rows(candidate),
         max_p99_regression,
     )

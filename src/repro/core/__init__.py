@@ -15,7 +15,13 @@ Public surface:
 * :class:`~repro.core.engine.QueryEngine` -- concurrent batched query
   execution with per-query metrics (the serving path);
 * :class:`~repro.core.cache.SemanticCache` -- interval-aware result
-  cache answering subsumed queries with zero index/disk I/O.
+  cache answering subsumed queries with zero index/disk I/O;
+* :mod:`repro.core.wire` -- the versioned delta-frame wire format and
+  the pure-client :class:`~repro.core.wire.ClientMesh`;
+* :class:`~repro.core.streaming.EngineSession` /
+  :class:`~repro.core.streaming.SessionManager` -- progressive
+  transmission sessions routed through the engine
+  (``engine.sessions()``).
 """
 
 from repro.core.cache import CacheStats, SemanticCache
@@ -47,14 +53,26 @@ from repro.core.reconstruct import (
     refine_to_plane,
     resolve_overlaps,
 )
-from repro.core.streaming import SessionDelta, TerrainSession
+from repro.core.streaming import (
+    EngineSession,
+    FrameResult,
+    SessionDelta,
+    SessionManager,
+    TerrainSession,
+)
 from repro.core.verify_store import StoreReport, verify_store
+from repro.core.wire import ClientMesh, DeltaFrame, decode_frame, encode_frame
 
 __all__ = [
     "CacheStats",
+    "ClientMesh",
     "DMBuildReport",
     "DMQueryResult",
+    "DeltaFrame",
+    "EngineSession",
+    "FrameResult",
     "SemanticCache",
+    "SessionManager",
     "DirectMeshStore",
     "MultiBasePlan",
     "QueryEngine",
@@ -71,6 +89,8 @@ __all__ = [
     "UniformRequest",
     "build_connection_lists",
     "connection_statistics",
+    "decode_frame",
+    "encode_frame",
     "explain",
     "mesh_edges",
     "mesh_triangles",

@@ -111,6 +111,7 @@ from repro.storage.record import DMNodeColumns, DMNodeRecord
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.direct_mesh import DirectMeshStore
+    from repro.core.streaming import SessionManager
 
 __all__ = [
     "QueryEngine",
@@ -585,6 +586,11 @@ class QueryEngine:
         # from arbitrary client threads).
         self._base_lock = threading.Lock()
         self._base_columns: DMNodeColumns | None = None
+        # Delta-session manager, created lazily on first use (DCL
+        # under _session_lock: sessions() may race from client
+        # threads; the import is local to avoid a module cycle).
+        self._session_lock = threading.Lock()
+        self._session_manager: "SessionManager | None" = None
         # Cache entries are columnar pages, so the cache implies the
         # columnar fetch path even when ``vectorized`` is off.
         self._columnar = vectorized or cache is not None
@@ -618,6 +624,21 @@ class QueryEngine:
     def governor(self) -> CostGovernor | None:
         """The attached admission controller (None = admit all)."""
         return self._governor
+
+    def sessions(self) -> "SessionManager":
+        """The engine's delta-session manager (created lazily).
+
+        Sessions opened here submit through this engine, so they
+        compose with the semantic cache, retries, deadlines, and
+        admission control; see :mod:`repro.core.streaming`.
+        """
+        if self._session_manager is None:
+            with self._session_lock:
+                if self._session_manager is None:
+                    from repro.core.streaming import SessionManager
+
+                    self._session_manager = SessionManager(self)
+        return self._session_manager
 
     def close(self) -> None:
         """Shut the worker pool down (idempotent)."""

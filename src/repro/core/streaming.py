@@ -6,34 +6,56 @@ a client keeps a terrain mesh for its current view and, as the view
 moves, wants *deltas* — which points entered the approximation, which
 left — rather than full result sets.
 
-:class:`TerrainSession` provides that on top of the store's query
-processors.  Each :meth:`update` evaluates the new view (a
-:class:`~repro.geometry.plane.QueryPlane`, a
-:class:`~repro.geometry.plane.RadialLodField`, or a uniform
-``(roi, lod)`` pair), diffs it against the session's active set, and
-returns a :class:`SessionDelta` with the added records, the removed
-ids, and transfer-size accounting.  Because Direct Mesh nodes are
-self-describing (coordinates + connection list), the client can splice
-deltas into its mesh without any server-side topology bookkeeping —
-the property that makes DM suit thin clients.
+Two layers provide that:
+
+* :class:`TerrainSession` — the in-process helper.  Each
+  :meth:`~TerrainSession.update` evaluates the new view directly
+  against the store's query processors, diffs it against the active
+  set, and returns a :class:`SessionDelta` with added records, removed
+  ids, and transfer-size accounting.
+* :class:`EngineSession` / :class:`SessionManager` — the transmission
+  subsystem.  Updates are routed through
+  :meth:`~repro.core.engine.QueryEngine.submit`, so sessions compose
+  with the semantic cache, fault retries, deadlines, and
+  :class:`~repro.core.engine.CostGovernor` admission (tenant-tagged —
+  session queries drain the same token buckets as everything else).
+  Each update is encoded as a versioned delta frame
+  (:mod:`repro.core.wire`) a stateless
+  :class:`~repro.core.wire.ClientMesh` splices without any
+  server-side topology bookkeeping — the property that makes DM suit
+  thin clients.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 from repro.core.query import DMQueryResult
 from repro.core.reconstruct import mesh_edges, mesh_triangles
-from repro.errors import QueryError
+from repro.core.wire import (
+    FLAG_DEGRADED,
+    FLAG_KEYFRAME,
+    DeltaFrame,
+    encode_frame,
+)
+from repro.errors import QueryError, SessionError
 from repro.geometry.primitives import Rect
 from repro.storage.record import DMNodeRecord, dm_record_size
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.direct_mesh import DirectMeshStore
+    from repro.core.engine import EngineRequest, QueryEngine, QueryOutcome
     from repro.geometry.plane import QueryPlane
 
-__all__ = ["TerrainSession", "SessionDelta"]
+__all__ = [
+    "TerrainSession",
+    "SessionDelta",
+    "FrameResult",
+    "EngineSession",
+    "SessionManager",
+]
 
 
 @dataclass
@@ -60,6 +82,24 @@ class SessionDelta:
         """Fraction of the new view that had to be transmitted."""
         total = len(self.added) + self.kept
         return len(self.added) / total if total else 0.0
+
+
+def diff_active(
+    active: dict[int, DMNodeRecord],
+    result: DMQueryResult,
+    disk_accesses: int = 0,
+) -> SessionDelta:
+    """Diff a fresh query result against a session's active set."""
+    new_ids = set(result.nodes)
+    old_ids = set(active)
+    delta = SessionDelta(disk_accesses=disk_accesses)
+    for node_id in sorted(new_ids - old_ids):
+        record = result.nodes[node_id]
+        delta.added.append(record)
+        delta.bytes_added += dm_record_size(len(record.connections))
+    delta.removed = sorted(old_ids - new_ids)
+    delta.kept = len(new_ids & old_ids)
+    return delta
 
 
 class TerrainSession:
@@ -99,12 +139,21 @@ class TerrainSession:
                 or a :class:`~repro.geometry.primitives.Rect` ROI
                 combined with ``lod`` (viewpoint-independent).
             lod: the uniform LOD when ``view`` is a Rect.
+
+        A failed evaluation (bad view type, query error) leaves the
+        session state — active set and update count — untouched, and
+        its I/O accounting is scoped by a per-thread probe, so a
+        raise cannot misattribute disk accesses to the next update
+        (the ISSUE 7 bracket bug: ``begin_measured_query`` reset the
+        *global* counters and an exception abandoned the bracket).
         """
         database = self._store.database
-        database.begin_measured_query()
-        result = self._evaluate(view, lod)
-        disk_accesses = database.disk_accesses
-        return self._apply(result, disk_accesses)
+        # Cold-cache measurement methodology: every update pays its own
+        # physical reads, as the original global bracket did.
+        database.flush()
+        with database.stats.attribute() as probe:
+            result = self._evaluate(view, lod)
+        return self._apply(result, probe.physical_reads)
 
     def _evaluate(
         self, view: "Rect | QueryPlane", lod: float | None
@@ -123,15 +172,7 @@ class TerrainSession:
     def _apply(
         self, result: DMQueryResult, disk_accesses: int
     ) -> SessionDelta:
-        new_ids = set(result.nodes)
-        old_ids = set(self._active)
-        delta = SessionDelta(disk_accesses=disk_accesses)
-        for node_id in sorted(new_ids - old_ids):
-            record = result.nodes[node_id]
-            delta.added.append(record)
-            delta.bytes_added += dm_record_size(len(record.connections))
-        delta.removed = sorted(old_ids - new_ids)
-        delta.kept = len(new_ids & old_ids)
+        delta = diff_active(self._active, result, disk_accesses)
         self._active = dict(result.nodes)
         self._updates += 1
         return delta
@@ -139,3 +180,209 @@ class TerrainSession:
     def reset(self) -> None:
         """Drop the client state (e.g. teleporting the camera)."""
         self._active.clear()
+
+
+# -- transmission over the engine -------------------------------------------
+
+
+@dataclass
+class FrameResult:
+    """One engine-session update: the wire frame plus its provenance.
+
+    ``payload`` is what goes on the wire; ``frame`` is its decoded
+    form (identical to what the client will see); ``delta`` carries
+    the diff accounting; ``outcome`` is the engine's verdict with
+    per-query metrics, degraded/shed flags, and attempt counts.
+    """
+
+    payload: bytes
+    frame: DeltaFrame
+    delta: SessionDelta
+    outcome: "QueryOutcome"
+
+
+class EngineSession:
+    """One client's delta-transmission stream over a query engine.
+
+    Every :meth:`update` submits the request through
+    :meth:`QueryEngine.submit` under the session's tenant — admission
+    control, retries, deadline degradation, and the semantic cache all
+    apply — then diffs the result against the session's active set and
+    encodes the delta as a wire frame.  The first frame (and any
+    :meth:`resync`) is a keyframe; degraded or shed answers produce
+    valid frames flagged ``FLAG_DEGRADED``.
+
+    A failed update (the outcome carries an error) raises it and
+    leaves the session state untouched, so the client's mesh and the
+    server's view of it cannot drift.
+
+    Not thread-safe: a session is one client's ordered stream.  Use
+    one :class:`EngineSession` per client; the engine underneath is
+    the concurrency layer.
+    """
+
+    def __init__(
+        self,
+        engine: "QueryEngine",
+        session_id: str,
+        tenant: str = "default",
+        compress: bool = True,
+    ) -> None:
+        self._engine = engine
+        self._session_id = session_id
+        self._tenant = tenant
+        self._compress = compress
+        self._active: dict[int, DMNodeRecord] = {}
+        self._seq = 0
+        self._bytes_sent = 0
+
+    # -- state ------------------------------------------------------------
+
+    @property
+    def session_id(self) -> str:
+        """The manager-scoped session identifier."""
+        return self._session_id
+
+    @property
+    def tenant(self) -> str:
+        """The tenant whose token bucket this session drains."""
+        return self._tenant
+
+    @property
+    def active_ids(self) -> set[int]:
+        """Ids in the server's view of the client mesh."""
+        return set(self._active)
+
+    @property
+    def next_seq(self) -> int:
+        """Sequence number the next frame will carry."""
+        return self._seq
+
+    @property
+    def bytes_sent(self) -> int:
+        """Total wire bytes encoded by this session."""
+        return self._bytes_sent
+
+    # -- updates ----------------------------------------------------------
+
+    def update(self, request: "EngineRequest") -> FrameResult:
+        """Serve one view update as a wire frame.
+
+        Raises the outcome's error (deadline, shed-unservable, I/O)
+        without touching session state; the caller can retry or
+        :meth:`resync`.
+        """
+        registry = self._engine.registry
+        outcome = self._engine.submit(request, tenant=self._tenant).result()
+        if outcome.error is not None or outcome.result is None:
+            registry.counter("session.errors").inc()
+            error = outcome.error or QueryError("engine returned no result")
+            raise error
+        delta = diff_active(
+            self._active, outcome.result, outcome.metrics.pages_read
+        )
+        flags = FLAG_KEYFRAME if self._seq == 0 else 0
+        if outcome.degraded:
+            flags |= FLAG_DEGRADED
+        frame = DeltaFrame(
+            self._seq, tuple(delta.added), tuple(delta.removed), flags
+        )
+        payload = encode_frame(frame, compress=self._compress)
+        self._active = dict(outcome.result.nodes)
+        self._seq += 1
+        self._bytes_sent += len(payload)
+        registry.counter("session.updates").inc()
+        registry.counter("session.added").inc(len(delta.added))
+        registry.counter("session.removed").inc(len(delta.removed))
+        registry.counter("session.bytes_wire").inc(len(payload))
+        registry.histogram("session.frame_bytes").observe(len(payload))
+        registry.histogram("session.churn").observe(delta.churn)
+        return FrameResult(payload, frame, delta, outcome)
+
+    def resync(self) -> bytes:
+        """A keyframe of the current active set (no query).
+
+        For clients that lost frames: a keyframe is accepted by
+        :class:`~repro.core.wire.ClientMesh` at any sequence number
+        and replaces its mesh outright.
+        """
+        frame = DeltaFrame(
+            self._seq,
+            tuple(
+                self._active[node_id] for node_id in sorted(self._active)
+            ),
+            (),
+            FLAG_KEYFRAME,
+        )
+        payload = encode_frame(frame, compress=self._compress)
+        self._seq += 1
+        self._bytes_sent += len(payload)
+        registry = self._engine.registry
+        registry.counter("session.resyncs").inc()
+        registry.counter("session.bytes_wire").inc(len(payload))
+        return payload
+
+
+class SessionManager:
+    """Tracks the open delta sessions of one :class:`QueryEngine`.
+
+    Thread-safe: ``open``/``close``/``get`` may be called from any
+    serving thread.  The sessions themselves are single-client
+    streams (see :class:`EngineSession`).
+    """
+
+    def __init__(self, engine: "QueryEngine") -> None:
+        self._engine = engine
+        self._lock = threading.Lock()
+        self._sessions: dict[str, EngineSession] = {}
+        self._opened = 0
+
+    def open(
+        self,
+        session_id: str | None = None,
+        tenant: str = "default",
+        compress: bool = True,
+    ) -> EngineSession:
+        """Open a new session (auto-named ``s-<n>`` when unnamed)."""
+        with self._lock:
+            if session_id is None:
+                session_id = f"s-{self._opened}"
+            if session_id in self._sessions:
+                raise SessionError(
+                    "session id already open", session_id=session_id
+                )
+            session = EngineSession(
+                self._engine, session_id, tenant, compress
+            )
+            self._sessions[session_id] = session
+            self._opened += 1
+            active = len(self._sessions)
+        self._engine.registry.gauge("session.active").set(active)
+        return session
+
+    def get(self, session_id: str) -> EngineSession:
+        """The open session called ``session_id``."""
+        with self._lock:
+            session = self._sessions.get(session_id)
+        if session is None:
+            raise SessionError("unknown session id", session_id=session_id)
+        return session
+
+    def close(self, session_id: str) -> None:
+        """Close a session (idempotent for unknown ids is an error)."""
+        with self._lock:
+            if self._sessions.pop(session_id, None) is None:
+                raise SessionError(
+                    "unknown session id", session_id=session_id
+                )
+            active = len(self._sessions)
+        self._engine.registry.gauge("session.active").set(active)
+
+    def ids(self) -> list[str]:
+        """The open session ids, sorted."""
+        with self._lock:
+            return sorted(self._sessions)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._sessions)

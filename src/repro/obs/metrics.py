@@ -85,6 +85,16 @@ METRIC_NAMES: frozenset[str] = frozenset(
         "slo.queue_depth",
         "slo.latency_s",
         "slo.tenant_throttled",
+        # -- progressive-transmission sessions -----------------------------
+        "session.updates",
+        "session.errors",
+        "session.resyncs",
+        "session.added",
+        "session.removed",
+        "session.bytes_wire",
+        "session.frame_bytes",
+        "session.churn",
+        "session.active",
         # -- storage integrity ---------------------------------------------
         "storage.crc_failures",
         "fsck.pages_scanned",
@@ -118,6 +128,7 @@ METRIC_FAMILIES: frozenset[str] = frozenset(
         "engine",
         "fsck",
         "io",
+        "session",
         "slo",
         "storage",
     }

@@ -33,6 +33,7 @@ __all__ = [
     "encode_pm_node",
     "decode_pm_node",
     "encode_dm_node",
+    "encode_dm_record",
     "decode_dm_node",
     "decode_dm_nodes_columnar",
     "dm_record_size",
@@ -180,6 +181,44 @@ def encode_dm_node(
 
         return head + encode_id_list(connections)
     tail = struct.pack(f"<{len(connections)}i", *connections)
+    return head + tail
+
+
+def encode_dm_record(record: DMNodeRecord, compress: bool = False) -> bytes:
+    """Serialise an already-decoded :class:`DMNodeRecord`.
+
+    :func:`encode_dm_node` serialises build-time ``PMNode`` objects;
+    this is its runtime twin for records read back from the store —
+    the delta-session wire format (:mod:`repro.core.wire`) re-encodes
+    fetched records into frame payloads.  The output is byte-identical
+    to the on-disk encoding, so :func:`decode_dm_node` decodes both.
+    """
+    if len(record.connections) >= _COMPRESSED_CONN:
+        raise RecordError(
+            f"node {record.id}: {len(record.connections)} connections "
+            "exceed u16"
+        )
+    head = _DM_FIXED.pack(
+        record.id,
+        record.x,
+        record.y,
+        record.z,
+        record.e_low,
+        record.e_high,
+        record.parent,
+        record.child1,
+        record.child2,
+        record.wing1,
+        record.wing2,
+        _COMPRESSED_CONN if compress else len(record.connections),
+    )
+    if compress:
+        from repro.storage.varint import encode_id_list
+
+        return head + encode_id_list(record.connections)
+    tail = struct.pack(
+        f"<{len(record.connections)}i", *record.connections
+    )
     return head + tail
 
 

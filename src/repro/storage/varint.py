@@ -1,4 +1,5 @@
-"""Variable-length integer coding for compressed connection lists.
+"""Variable-length integer coding for compressed connection lists
+and the delta-session wire format.
 
 The paper's reference [2] (Danovaro et al., *Compressing
 multiresolution triangle meshes*) motivates compressing MTM topology.
@@ -6,10 +7,26 @@ As an optional extension, Direct Mesh records can store their
 similar-LOD connection lists **delta + varint** coded: the list is
 sorted, gaps between consecutive ids are usually small relative to the
 id space, and LEB128-style varints shrink them further.  The ablation
-benchmark quantifies the heap-size and disk-access effect.
+benchmark quantifies the heap-size and disk-access effect.  The same
+primitives carry the progressive-transmission delta frames of
+:mod:`repro.core.wire`.
 
 Encoding: unsigned LEB128 (7 bits per byte, high bit = continuation);
 signed values use zigzag mapping first.
+
+Supported range
+---------------
+The wire format is **64-bit**.  :func:`encode_uvarint` accepts values
+in ``[0, 2**64)`` — at most 10 bytes on the wire — and
+:func:`decode_uvarint` rejects both encodings longer than 10 bytes and
+decoded values past ``2**64 - 1``.  Python ints are arbitrary
+precision, so without the explicit bound a malformed (or adversarial)
+stream would silently decode to an id no fixed-width peer could ever
+re-encode.  :func:`zigzag` is the standard bijection between the
+signed range ``[-2**63, 2**63)`` and the unsigned ``[0, 2**64)``; the
+fixed-width idiom ``(v << 1) ^ (v >> 63)`` is *wrong* for Python ints
+(``v >> 63`` is not a sign smear once ``v >= 2**63``), so the branchy
+form below is the one that round-trips the whole range.
 """
 
 from __future__ import annotations
@@ -17,6 +34,7 @@ from __future__ import annotations
 from repro.errors import RecordError
 
 __all__ = [
+    "U64_MAX",
     "encode_uvarint",
     "decode_uvarint",
     "zigzag",
@@ -25,11 +43,22 @@ __all__ = [
     "decode_id_list",
 ]
 
+#: Largest value the varint wire format carries: ``2**64 - 1``.
+U64_MAX = (1 << 64) - 1
+
+#: A u64 needs ceil(64 / 7) = 10 LEB128 bytes; the 10th byte starts at
+#: bit 63.  Any continuation past that is an overlong encoding.
+_MAX_SHIFT = 63
+
 
 def encode_uvarint(value: int, out: bytearray) -> None:
-    """Append ``value`` (non-negative) to ``out`` as LEB128."""
+    """Append ``value`` (in ``[0, 2**64)``) to ``out`` as LEB128."""
     if value < 0:
         raise RecordError(f"uvarint cannot encode negative {value}")
+    if value > U64_MAX:
+        raise RecordError(
+            f"uvarint supports [0, 2**64), got {value}"
+        )
     while True:
         byte = value & 0x7F
         value >>= 7
@@ -41,7 +70,12 @@ def encode_uvarint(value: int, out: bytearray) -> None:
 
 
 def decode_uvarint(data: bytes, offset: int) -> tuple[int, int]:
-    """Decode one LEB128 value; returns ``(value, next_offset)``."""
+    """Decode one LEB128 value; returns ``(value, next_offset)``.
+
+    Rejects truncated input, encodings longer than 10 bytes, and
+    decoded values past ``2**64 - 1`` (e.g. a 10-byte encoding whose
+    final byte sets bits above 63).
+    """
     result = 0
     shift = 0
     while True:
@@ -51,24 +85,36 @@ def decode_uvarint(data: bytes, offset: int) -> tuple[int, int]:
         offset += 1
         result |= (byte & 0x7F) << shift
         if not byte & 0x80:
+            if result > U64_MAX:
+                raise RecordError(
+                    f"varint decodes past the u64 range: {result}"
+                )
             return result, offset
         shift += 7
-        if shift > 63:
+        if shift > _MAX_SHIFT:
             raise RecordError("varint too long")
 
 
 def zigzag(value: int) -> int:
-    """Map a signed integer to unsigned (0, -1, 1, -2 -> 0, 1, 2, 3)."""
-    return (value << 1) ^ (value >> 63) if value >= 0 else ((-value) << 1) - 1
+    """Map signed ``[-2**63, 2**63)`` to unsigned (0, -1, 1 -> 0, 1, 2)."""
+    if not -(1 << 63) <= value < (1 << 63):
+        raise RecordError(
+            f"zigzag supports [-2**63, 2**63), got {value}"
+        )
+    return (value << 1) if value >= 0 else ((-value) << 1) - 1
 
 
 def unzigzag(value: int) -> int:
-    """Inverse of :func:`zigzag`."""
+    """Inverse of :func:`zigzag` (accepts ``[0, 2**64)``)."""
+    if not 0 <= value <= U64_MAX:
+        raise RecordError(
+            f"unzigzag supports [0, 2**64), got {value}"
+        )
     return (value >> 1) if not value & 1 else -((value + 1) >> 1)
 
 
 def encode_id_list(ids: list[int]) -> bytes:
-    """Delta + varint encode a list of non-negative ids.
+    """Delta + varint encode a list of ids in ``[0, 2**64)``.
 
     The list is sorted first (connection lists are sets; order carries
     no information), so all deltas after the first are positive.
@@ -92,5 +138,9 @@ def decode_id_list(data: bytes, offset: int = 0) -> tuple[list[int], int]:
     for _ in range(count):
         delta, offset = decode_uvarint(data, offset)
         current += delta
+        if current > U64_MAX:
+            raise RecordError(
+                f"id list delta overflows the u64 range: {current}"
+            )
         ids.append(current)
     return ids, offset

@@ -9,8 +9,10 @@ import pytest
 from repro.bench.compare import (
     compare_files,
     compare_reports,
+    extract_session_runs,
     extract_slo_runs,
     run_key,
+    session_run_key,
 )
 from repro.errors import QueryError
 
@@ -59,6 +61,38 @@ def make_run(
     return report
 
 
+def make_session_run(
+    transport="delta",
+    step_frac=0.05,
+    p99_ms=5.0,
+) -> dict:
+    return {
+        "schema": "repro.bench.session/v1",
+        "mode": "flightpath",
+        "transport": transport,
+        "seed": 0,
+        "requests": 200,
+        "sessions": 4,
+        "tenants": 4,
+        "roi_frac": 0.35,
+        "step_frac": step_frac,
+        "lod_breathe": 0.05,
+        "wall_s": 1.0,
+        "latency_ms": {
+            "p50": p99_ms / 4,
+            "p95": p99_ms / 2,
+            "p99": p99_ms,
+            "p999": p99_ms * 1.5,
+            "max": p99_ms * 2,
+        },
+        "bytes_wire": 10_000,
+        "bytes_per_frame": 50.0,
+        "n_degraded": 0,
+        "n_keyframes": 4,
+        "churn_mean": 0.1,
+    }
+
+
 class TestExtract:
     def test_accepts_merged_bench_layout(self):
         payload = {"bench": 6, "slo_openloop": {"runs": [make_run()]}}
@@ -78,6 +112,17 @@ class TestExtract:
         with pytest.raises(QueryError):
             extract_slo_runs(42)
 
+    def test_session_merged_layout_and_schema(self):
+        payload = {
+            "bench": 7,
+            "session_delta": {"runs": [make_session_run()]},
+        }
+        assert len(extract_session_runs(payload)) == 1
+        bad = make_session_run()
+        del bad["bytes_wire"]
+        with pytest.raises(QueryError):
+            extract_session_runs({"runs": [bad]})
+
 
 class TestRunKey:
     def test_distinguishes_mode_rate_and_admission(self):
@@ -92,6 +137,17 @@ class TestRunKey:
 
     def test_stable_across_measurement_noise(self):
         assert run_key(make_run(p99_ms=10)) == run_key(make_run(p99_ms=99))
+
+    def test_session_key_distinguishes_step_and_transport(self):
+        keys = {
+            session_run_key(make_session_run()),
+            session_run_key(make_session_run(transport="naive")),
+            session_run_key(make_session_run(step_frac=0.3)),
+        }
+        assert len(keys) == 3
+        assert session_run_key(make_session_run()) == session_run_key(
+            make_session_run(p99_ms=99)
+        )
 
 
 class TestGate:
@@ -132,6 +188,39 @@ class TestGate:
     def test_rejects_bad_threshold(self):
         with pytest.raises(QueryError):
             compare_reports([], [], max_p99_regression=0.0)
+
+
+class TestSessionGate:
+    def write(self, path, runs):
+        path.write_text(
+            json.dumps({"bench": 7, "session_delta": {"runs": runs}})
+        )
+
+    def test_delta_regression_fails(self, tmp_path):
+        base, cand = tmp_path / "base.json", tmp_path / "cand.json"
+        self.write(base, [make_session_run(p99_ms=5.0)])
+        self.write(cand, [make_session_run(p99_ms=10.0)])
+        result = compare_files(base, cand)
+        assert not result.ok
+
+    def test_naive_arm_is_exempt(self, tmp_path):
+        base, cand = tmp_path / "base.json", tmp_path / "cand.json"
+        self.write(base, [make_session_run("naive", p99_ms=5.0)])
+        self.write(cand, [make_session_run("naive", p99_ms=500.0)])
+        assert compare_files(base, cand).ok
+
+    def test_mixed_sections_gate_together(self, tmp_path):
+        base, cand = tmp_path / "base.json", tmp_path / "cand.json"
+        payload = {
+            "bench": 7,
+            "slo_openloop": {"runs": [make_run(p99_ms=20.0)]},
+            "session_delta": {"runs": [make_session_run(p99_ms=5.0)]},
+        }
+        base.write_text(json.dumps(payload))
+        cand.write_text(json.dumps(payload))
+        result = compare_files(base, cand)
+        assert result.ok
+        assert len(result.rows) == 2
 
 
 class TestFilesAndScript:

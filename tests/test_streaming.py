@@ -98,6 +98,65 @@ class TestIncrementalUpdates:
         assert session.active_ids == set()
 
 
+class TestMeasurementBracket:
+    """Regression tests for the ISSUE 7 exception-unsafe bracket."""
+
+    def test_failed_update_leaves_state_untouched(
+        self, session, hills_dataset
+    ):
+        roi = hills_dataset.bounds().scaled(0.3)
+        lod = hills_dataset.pm.average_lod()
+        session.update(roi, lod)
+        active = session.active_ids
+        count = session.update_count
+        with pytest.raises(QueryError):
+            session.update(42)
+        assert session.active_ids == active
+        assert session.update_count == count
+
+    def test_failed_update_does_not_clobber_external_measurement(
+        self, session_db, hills_dataset
+    ):
+        # The old bracket called begin_measured_query() *before*
+        # evaluating the view, so a raise reset the global disk
+        # counters and whatever measurement an outer caller had open
+        # lost its counts.  The probe-scoped bracket must not.
+        store = session_db["dm"]
+        db = store.database
+        streaming_session = TerrainSession(store)
+        roi = hills_dataset.bounds().scaled(0.3)
+        lod = hills_dataset.pm.average_lod()
+        db.begin_measured_query()
+        store.uniform_query(roi, lod)
+        external = db.disk_accesses
+        assert external > 0
+        with pytest.raises(QueryError):
+            streaming_session.update(42)
+        assert db.disk_accesses == external
+
+    def test_attribution_matches_a_never_failed_session(
+        self, session_db, hills_dataset
+    ):
+        # A failed update between two good ones must not leak its
+        # accounting into the next: the victim's post-failure update
+        # reports the same disk accesses as a control session that
+        # never failed.
+        store = session_db["dm"]
+        lod = hills_dataset.pm.average_lod()
+        roi1 = hills_dataset.bounds().scaled(0.3)
+        roi2 = hills_dataset.bounds().scaled(0.45)
+        control = TerrainSession(store)
+        victim = TerrainSession(store)
+        control.update(roi1, lod)
+        victim.update(roi1, lod)
+        with pytest.raises(QueryError):
+            victim.update(object())
+        assert (
+            victim.update(roi2, lod).disk_accesses
+            == control.update(roi2, lod).disk_accesses
+        )
+
+
 class TestViewdepStreaming:
     def test_plane_view(self, session, hills_dataset):
         roi = hills_dataset.bounds().scaled(0.4)

@@ -6,6 +6,7 @@ from hypothesis import given, strategies as st
 from repro.errors import RecordError
 from repro.storage.record import decode_dm_node, encode_dm_node
 from repro.storage.varint import (
+    U64_MAX,
     decode_id_list,
     decode_uvarint,
     encode_id_list,
@@ -41,7 +42,27 @@ class TestUvarint:
         with pytest.raises(RecordError):
             decode_uvarint(b"\xff" * 12, 0)
 
-    @given(st.integers(0, 2**62))
+    def test_u64_boundaries(self):
+        # The regression of ISSUE 7: ids in [2**63, 2**64) are legal
+        # 10-byte encodings and must round-trip.
+        for value in (2**63 - 1, 2**63, U64_MAX):
+            out = bytearray()
+            encode_uvarint(value, out)
+            assert len(out) <= 10
+            assert decode_uvarint(bytes(out), 0) == (value, len(out))
+
+    def test_beyond_u64_rejected_on_encode(self):
+        with pytest.raises(RecordError):
+            encode_uvarint(U64_MAX + 1, bytearray())
+
+    def test_beyond_u64_rejected_on_decode(self):
+        # A 10-byte encoding of 2**64 (final byte sets bit 64) must
+        # not silently decode to a value no fixed-width peer can hold.
+        overflowing = b"\x80" * 9 + b"\x02"
+        with pytest.raises(RecordError):
+            decode_uvarint(overflowing, 0)
+
+    @given(st.integers(0, U64_MAX))
     def test_roundtrip(self, value):
         out = bytearray()
         encode_uvarint(value, out)
@@ -49,7 +70,7 @@ class TestUvarint:
 
 
 class TestZigzag:
-    @given(st.integers(-(2**31), 2**31))
+    @given(st.integers(-(2**63), 2**63 - 1))
     def test_roundtrip(self, value):
         assert unzigzag(zigzag(value)) == value
 
@@ -58,6 +79,22 @@ class TestZigzag:
         assert zigzag(-1) == 1
         assert zigzag(1) == 2
         assert zigzag(-2) == 3
+
+    def test_i64_boundaries(self):
+        # The fixed-width idiom ``(v << 1) ^ (v >> 63)`` corrupted the
+        # top half of the non-negative range; the bijection must cover
+        # all of [-2**63, 2**63) onto [0, 2**64).
+        assert zigzag(2**63 - 1) == U64_MAX - 1
+        assert zigzag(-(2**63)) == U64_MAX
+        assert unzigzag(U64_MAX) == -(2**63)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(RecordError):
+            zigzag(2**63)
+        with pytest.raises(RecordError):
+            zigzag(-(2**63) - 1)
+        with pytest.raises(RecordError):
+            unzigzag(U64_MAX + 1)
 
 
 class TestIdList:
@@ -85,10 +122,19 @@ class TestIdList:
         ids = list(range(1000, 1060))
         assert len(encode_id_list(ids)) < 4 * len(ids) // 2
 
-    @given(st.lists(st.integers(0, 2**30), max_size=100))
+    @given(st.lists(st.integers(0, U64_MAX), max_size=100))
     def test_roundtrip_property(self, ids):
         back, _ = decode_id_list(encode_id_list(ids))
         assert back == sorted(ids)
+
+    def test_full_u64_ids(self):
+        ids = [0, 2**63 - 1, 2**63, U64_MAX]
+        back, _ = decode_id_list(encode_id_list(ids))
+        assert back == ids
+
+    def test_beyond_u64_rejected(self):
+        with pytest.raises(RecordError):
+            encode_id_list([U64_MAX + 1])
 
 
 class TestCompressedRecords:
