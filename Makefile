@@ -6,7 +6,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test test-fast lint lint-repro typecheck ci stress perf-smoke slo-smoke session-smoke bench-slo bench-session fsck bench report examples clean
+.PHONY: install test test-fast lint lint-repro typecheck ci stress perf-smoke slo-smoke session-smoke cluster-smoke bench-slo bench-session bench-cluster fsck bench report examples clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -88,6 +88,25 @@ session-smoke:
 	REPRO_SESSION_REDUCTION=$(SESSION_SMOKE_REDUCTION) \
 	$(PYTHON) -m pytest benchmarks/test_session_delta.py --benchmark-only -q
 
+# Cluster fast-path smoke: the clustered/per-node A/B with a relaxed
+# speedup guard (clustered merely must not lose to the per-node
+# oracle; the honest >= 2x comes from the nightly bench at defaults).
+# Results stay node-id-identical either way — that parity is always
+# asserted at full strength.  Mirrors the `cluster-smoke` job in CI.
+CLUSTER_SMOKE_GUARD ?= 1.0
+CLUSTER_SMOKE_REQUESTS ?= 24
+cluster-smoke:
+	REPRO_CLUSTER_GUARD=$(CLUSTER_SMOKE_GUARD) \
+	REPRO_CLUSTER_REQUESTS=$(CLUSTER_SMOKE_REQUESTS) \
+	$(PYTHON) -m pytest benchmarks/test_clusters.py --benchmark-only -q
+
+# Full cluster A/B at the honest >= 2x speedup guard + the nightly
+# regression gate against the committed BENCH_8.json baseline.
+bench-cluster:
+	cp BENCH_8.json /tmp/repro-bench8-baseline.json
+	$(PYTHON) -m pytest benchmarks/test_clusters.py --benchmark-only -q
+	$(PYTHON) scripts/bench_compare.py /tmp/repro-bench8-baseline.json BENCH_8.json
+
 # Full delta-session matrix at the honest >= 5x reduction guard + the
 # nightly regression gate against the committed BENCH_7.json baseline.
 bench-session:
@@ -97,8 +116,9 @@ bench-session:
 
 # Integrity drill: build a throwaway database, scrub it (must be
 # clean), snapshot, inject seeded corruption (scrub must now fail),
-# repair from the snapshot, and scrub once more.  Mirrors the
-# `integrity` job in CI.
+# repair from the snapshot, scrub once more, then damage the cluster
+# directory sidecar (scrub must flag the run/blob mismatch) and
+# restore it.  Mirrors the `integrity` job in CI.
 FSCK_DB ?= /tmp/repro-fsck-drill.db
 fsck:
 	rm -rf $(FSCK_DB)
@@ -108,6 +128,14 @@ fsck:
 	PYTHONPATH=src $(PYTHON) -m repro fsck $(FSCK_DB) --inject 5 --seed 7; \
 		test $$? -eq 1 || { echo "fsck missed injected corruption"; exit 1; }
 	PYTHONPATH=src $(PYTHON) -m repro fsck $(FSCK_DB) --repair
+	PYTHONPATH=src $(PYTHON) -m repro fsck $(FSCK_DB)
+	cp $(FSCK_DB)/dm_clusters.json /tmp/repro-fsck-clusters.bak
+	$(PYTHON) -c "import json; p = '$(FSCK_DB)/dm_clusters.json'; \
+		d = json.load(open(p)); d['clusters'][0]['n_nodes'] += 1; \
+		json.dump(d, open(p, 'w'))"
+	PYTHONPATH=src $(PYTHON) -m repro fsck $(FSCK_DB); \
+		test $$? -eq 1 || { echo "fsck missed cluster-directory damage"; exit 1; }
+	mv /tmp/repro-fsck-clusters.bak $(FSCK_DB)/dm_clusters.json
 	PYTHONPATH=src $(PYTHON) -m repro fsck $(FSCK_DB)
 	rm -rf $(FSCK_DB)
 

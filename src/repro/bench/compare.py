@@ -1,14 +1,16 @@
 """Regression gate over open-loop SLO and delta-session bench reports.
 
 The nightly bench workflow runs the open-loop matrix into
-``BENCH_6.json`` and the delta-session matrix into ``BENCH_7.json``,
-then compares each against the baseline committed in the repository:
-a p99 latency regression beyond the threshold on any *gated* run
-fails the build.  Gated means admission-controlled for the SLO matrix
-(the no-admission arms exist to demonstrate latency collapse, so
-their percentiles carry no signal) and ``delta`` transport for the
-session matrix (the ``naive`` arm is the baseline being beaten, not a
-number we defend).
+``BENCH_6.json``, the delta-session matrix into ``BENCH_7.json``, and
+the cluster fast-path A/B into ``BENCH_8.json``, then compares each
+against the baseline committed in the repository: a p99 latency
+regression beyond the threshold on any *gated* run fails the build.
+Gated means admission-controlled for the SLO matrix (the no-admission
+arms exist to demonstrate latency collapse, so their percentiles
+carry no signal), ``delta`` transport for the session matrix, and the
+``clustered`` path for the cluster matrix (``naive`` re-query and the
+``per-node`` oracle are the baselines being beaten, not numbers we
+defend).
 
 Runs are matched across files by :func:`run_key` /
 :func:`session_run_key`, so a matrix can grow new cells without
@@ -27,12 +29,18 @@ from repro.bench.openloop import validate_session_report, validate_slo_report
 from repro.errors import QueryError
 
 __all__ = [
+    "CLUSTER_PATHS",
+    "CLUSTER_REPORT_SCHEMA",
+    "CLUSTER_WORKLOADS",
     "RunComparison",
     "ComparisonResult",
     "extract_slo_runs",
     "extract_session_runs",
+    "extract_cluster_runs",
     "run_key",
     "session_run_key",
+    "cluster_run_key",
+    "validate_cluster_report",
     "compare_reports",
     "compare_files",
 ]
@@ -119,6 +127,93 @@ def session_run_key(report: dict) -> str:
     )
 
 
+#: Schema tag every cluster fast-path report must carry.
+CLUSTER_REPORT_SCHEMA = "repro.cluster_fastpath/1"
+
+#: Workloads the cluster A/B serves.
+CLUSTER_WORKLOADS = ("uniform", "viewdep")
+
+#: The two serving paths measured against each other.
+CLUSTER_PATHS = ("clustered", "per-node")
+
+_REQUIRED_CLUSTER_NUMBERS = ("qps", "requests", "wall_s", "workers")
+
+_REQUIRED_CLUSTER_LATENCIES = ("p50", "p95", "p99")
+
+
+def validate_cluster_report(report: object) -> list[str]:
+    """Schema-check one cluster A/B run; returns problems ([] = valid).
+
+    Same dependency-free style as
+    :func:`~repro.bench.openloop.validate_slo_report`: key presence,
+    numeric types, and the version/workload/path tags.
+    """
+    problems: list[str] = []
+    if not isinstance(report, dict):
+        return [f"report must be an object, got {type(report).__name__}"]
+    if report.get("schema") != CLUSTER_REPORT_SCHEMA:
+        problems.append(
+            f"schema must be {CLUSTER_REPORT_SCHEMA!r}, got "
+            f"{report.get('schema')!r}"
+        )
+    if report.get("workload") not in CLUSTER_WORKLOADS:
+        problems.append(
+            f"workload must be one of {CLUSTER_WORKLOADS}, got "
+            f"{report.get('workload')!r}"
+        )
+    if report.get("path") not in CLUSTER_PATHS:
+        problems.append(
+            f"path must be one of {CLUSTER_PATHS}, got "
+            f"{report.get('path')!r}"
+        )
+    for key in _REQUIRED_CLUSTER_NUMBERS:
+        value = report.get(key)
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            problems.append(f"{key} must be a number, got {value!r}")
+    latency = report.get("latency_ms")
+    if not isinstance(latency, dict):
+        problems.append("latency_ms must be an object")
+    else:
+        for key in _REQUIRED_CLUSTER_LATENCIES:
+            value = latency.get(key)
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                problems.append(f"latency_ms.{key} must be a number")
+    return problems
+
+
+def extract_cluster_runs(payload: object) -> list[dict]:
+    """The validated cluster runs inside one ``BENCH_8.json`` payload.
+
+    Accepts either the merged BENCH layout (``{"cluster_fastpath":
+    {"runs": [...]}}``) or a bare ``{"runs": [...]}`` / ``[...]``.
+    """
+    if isinstance(payload, dict) and "cluster_fastpath" in payload:
+        payload = payload["cluster_fastpath"]
+    if isinstance(payload, dict) and "runs" in payload:
+        payload = payload["runs"]
+    if isinstance(payload, dict):
+        payload = [payload]
+    if not isinstance(payload, list):
+        raise QueryError(
+            "no cluster runs found", payload_type=type(payload).__name__
+        )
+    runs: list[dict] = []
+    for index, report in enumerate(payload):
+        problems = validate_cluster_report(report)
+        if problems:
+            raise QueryError(
+                f"cluster run {index} fails the report schema",
+                problems="; ".join(problems),
+            )
+        runs.append(report)
+    return runs
+
+
+def cluster_run_key(report: dict) -> str:
+    """A stable identity for one cluster A/B cell across files."""
+    return f"cluster/{report['workload']}/{report['path']}"
+
+
 @dataclass(frozen=True)
 class RunComparison:
     """One matrix cell's baseline-vs-candidate verdict."""
@@ -153,7 +248,7 @@ class ComparisonResult:
         lines = [
             f"bench gate: p99 regression threshold "
             f"{100 * self.threshold:.0f}% (gated runs only: admission "
-            f"arms and delta transport)"
+            f"arms, delta transport, clustered path)"
         ]
         for row in self.rows:
             if row.baseline_p99_ms is None:
@@ -226,13 +321,16 @@ def _gather_rows(payload: object) -> list[tuple[str, bool, dict]]:
     """Every gateable run in one bench JSON payload, with its key.
 
     A merged file may carry an ``slo_openloop`` section, a
-    ``session_delta`` section, or both; the legacy bare-runs layout is
-    treated as open-loop.  Raises when neither section yields runs, so
-    a mangled file cannot silently pass the gate.
+    ``session_delta`` section, a ``cluster_fastpath`` section, or any
+    mix; the legacy bare-runs layout is treated as open-loop.  Raises
+    when no section yields runs, so a mangled file cannot silently
+    pass the gate.
     """
     rows: list[tuple[str, bool, dict]] = []
     sectioned = isinstance(payload, dict) and (
-        "slo_openloop" in payload or "session_delta" in payload
+        "slo_openloop" in payload
+        or "session_delta" in payload
+        or "cluster_fastpath" in payload
     )
     if not sectioned:
         return [
@@ -249,6 +347,11 @@ def _gather_rows(payload: object) -> list[tuple[str, bool, dict]]:
             (session_run_key(run), run["transport"] == "delta", run)
             for run in extract_session_runs(payload)
         )
+    if isinstance(payload, dict) and "cluster_fastpath" in payload:
+        rows.extend(
+            (cluster_run_key(run), run["path"] == "clustered", run)
+            for run in extract_cluster_runs(payload)
+        )
     return rows
 
 
@@ -260,8 +363,8 @@ def compare_files(
     """Load two bench JSON files and gate candidate against baseline.
 
     Gates whichever sections the candidate carries — open-loop runs
-    (``BENCH_6.json``), delta-session runs (``BENCH_7.json``), or both
-    in one merged file.
+    (``BENCH_6.json``), delta-session runs (``BENCH_7.json``), cluster
+    fast-path runs (``BENCH_8.json``), or any mix in one merged file.
     """
     baseline = json.loads(Path(baseline_path).read_text())
     candidate = json.loads(Path(candidate_path).read_text())

@@ -137,6 +137,7 @@ def measure_throughput(
     cache=None,
     vectorized: bool = True,
     repeat: int = 1,
+    clustered: bool | None = None,
 ) -> ThroughputReport:
     """Serve ``requests`` through a :class:`QueryEngine` and time it.
 
@@ -144,7 +145,10 @@ def measure_throughput(
     so runs at different worker counts face identical cache state.
     ``retries`` and ``deadline_s`` are handed to the engine unchanged
     (see :class:`~repro.core.engine.QueryEngine`), as are ``cache``
-    (a :class:`~repro.core.cache.SemanticCache`) and ``vectorized``.
+    (a :class:`~repro.core.cache.SemanticCache`), ``vectorized``, and
+    ``clustered`` (``None`` auto-enables the cluster fast path when
+    the store has a cluster section; ``False`` forces the per-node
+    oracle path — the A/B lever of the cluster benchmark).
     ``repeat`` replays the batch that many times inside the timing
     window — the repeated/overlapping workload a warm semantic cache
     is built for; the report counts every replayed request.
@@ -169,6 +173,7 @@ def measure_throughput(
         deadline_s=deadline_s,
         cache=cache,
         vectorized=vectorized,
+        clustered=clustered,
     ) as engine:
         started = time.perf_counter()
         for _ in range(repeat):

@@ -255,6 +255,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "columnar numpy kernels (A/B comparison)",
     )
     serve.add_argument(
+        "--no-clustered",
+        action="store_true",
+        help="serve through the per-node R*-tree path instead of the "
+        "cluster fast path (A/B comparison; stores without a cluster "
+        "section always serve per-node)",
+    )
+    serve.add_argument(
         "--metrics",
         action="store_true",
         help="print the full metrics report of the last sweep",
@@ -647,10 +654,12 @@ def _cmd_bench_serve(args) -> int:
         )
         db.set_fault_injector(injector)
 
+    clustered_path = store.clusters is not None and not args.no_clustered
     print(
         f"bench-serve: {args.requests} {args.mode} requests "
         f"x{args.repeat}, pool {args.pool_pages} pages, "
-        f"io latency {args.io_latency}s, dedup {args.dedup}"
+        f"io latency {args.io_latency}s, dedup {args.dedup}, "
+        f"path {'clustered' if clustered_path else 'per-node'}"
     )
     if args.cache_mb > 0.0:
         print(
@@ -704,6 +713,7 @@ def _cmd_bench_serve(args) -> int:
             cache=cache,
             vectorized=not args.no_vectorized,
             repeat=args.repeat,
+            clustered=False if args.no_clustered else None,
         )
         if base_qps is None:
             base_qps = report.qps

@@ -40,7 +40,13 @@ from repro.errors import QueryError
 from repro.geometry.primitives import Box3
 from repro.storage.record import DMNodeColumns
 
-__all__ = ["SemanticCache", "CacheStats"]
+__all__ = [
+    "SemanticCache",
+    "CacheStats",
+    "ClusterCache",
+    "ClusterCacheStats",
+    "DEFAULT_CLUSTER_CACHE_BYTES",
+]
 
 #: Fixed per-entry overhead charged against the byte budget (key,
 #: OrderedDict node, entry object) so many tiny cubes cannot dodge
@@ -229,3 +235,125 @@ class SemanticCache:
         # rule R1): callers hold ``self._lock``.
         entry = self._entries.pop(key)
         self._bytes -= entry.nbytes
+
+
+# -- cluster-granular cache --------------------------------------------------
+
+#: Default byte budget of the engine's per-store cluster cache.
+DEFAULT_CLUSTER_CACHE_BYTES = 64 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class ClusterCacheStats:
+    """A consistent snapshot of a :class:`ClusterCache`'s counters."""
+
+    hits: int
+    misses: int
+    insertions: int
+    evictions: int
+    bytes: int
+    entries: int
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits per lookup (0.0 when idle)."""
+        lookups = self.hits + self.misses
+        if lookups == 0:
+            return 0.0
+        return self.hits / lookups
+
+
+class ClusterCache:
+    """Byte-budgeted LRU of *decoded clusters*, keyed by cluster id.
+
+    The cluster fast path's twin of :class:`SemanticCache`, one level
+    lower: instead of query cubes it holds whole decoded clusters
+    (:class:`~repro.storage.record.DMNodeColumns`), so a hit skips
+    both the run's physical read *and* the columnar decode.  Clusters
+    are immutable for the life of a store — a cluster id fully
+    identifies its content, which is what makes the id a sufficient
+    key: any query selecting the cluster reuses the same decoded page
+    regardless of its LOD interval, a strictly stronger sharing regime
+    than cube subsumption (two disjoint cubes touching the same
+    cluster share nothing in the cube cache, everything here).
+
+    Like the semantic cache, entries are dropped wholesale by
+    :meth:`invalidate` on store rebuild.  All operations are
+    thread-safe; engine workers hit and fill concurrently.
+    """
+
+    def __init__(self, max_bytes: int = DEFAULT_CLUSTER_CACHE_BYTES) -> None:
+        if max_bytes <= 0:
+            raise QueryError(f"max_bytes must be positive, got {max_bytes}")
+        self.max_bytes = max_bytes
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[int, DMNodeColumns] = OrderedDict()
+        self._sizes: dict[int, int] = {}
+        self._bytes = 0
+        self._hits = 0
+        self._misses = 0
+        self._insertions = 0
+        self._evictions = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def bytes(self) -> int:
+        """Resident bytes (payload plus per-entry overhead)."""
+        with self._lock:
+            return self._bytes
+
+    def stats(self) -> ClusterCacheStats:
+        """Lifetime counters, read in one critical section."""
+        with self._lock:
+            return ClusterCacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                insertions=self._insertions,
+                evictions=self._evictions,
+                bytes=self._bytes,
+                entries=len(self._entries),
+            )
+
+    def get(self, cluster_id: int) -> DMNodeColumns | None:
+        """The decoded cluster, or ``None``; hits become MRU."""
+        with self._lock:
+            columns = self._entries.get(cluster_id)
+            if columns is None:
+                self._misses += 1
+                return None
+            self._hits += 1
+            self._entries.move_to_end(cluster_id)
+            return columns
+
+    def put(self, cluster_id: int, columns: DMNodeColumns) -> bool:
+        """Admit a decoded cluster; returns True when admitted.
+
+        An entry larger than the whole budget is refused; re-inserting
+        a resident id refreshes recency without double-charging.
+        """
+        nbytes = columns.nbytes + ENTRY_OVERHEAD_BYTES
+        if nbytes > self.max_bytes:
+            return False
+        with self._lock:
+            if cluster_id in self._entries:
+                self._entries.move_to_end(cluster_id)
+                return True
+            self._entries[cluster_id] = columns
+            self._sizes[cluster_id] = nbytes
+            self._bytes += nbytes
+            self._insertions += 1
+            while self._bytes > self.max_bytes:
+                oldest, _ = self._entries.popitem(last=False)
+                self._bytes -= self._sizes.pop(oldest)
+                self._evictions += 1
+            return True
+
+    def invalidate(self) -> None:
+        """Empty the cache (required after a store rebuild)."""
+        with self._lock:
+            self._entries.clear()
+            self._sizes.clear()
+            self._bytes = 0

@@ -45,6 +45,13 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass
 
+from repro.core.clusters import (
+    DEFAULT_CLUSTER_NODES,
+    ClusterCostModel,
+    ClusterDirectory,
+    ClusterSet,
+    build_cluster_runs,
+)
 from repro.core.connectivity import build_connection_lists
 from repro.core.cost_model import MultiBasePlan, RTreeCostModel
 from repro.core.query import (
@@ -84,6 +91,7 @@ class DMBuildReport:
     btree_pages: int
     total_record_bytes: int
     total_connection_entries: int
+    cluster_pages: int = 0
 
     @property
     def avg_connections(self) -> float:
@@ -105,6 +113,7 @@ class DirectMeshStore:
         max_lod: float,
         e_cap: float,
         build_report: DMBuildReport | None = None,
+        clusters: ClusterSet | None = None,
     ) -> None:
         self.database = database
         self.heap = heap
@@ -113,10 +122,20 @@ class DirectMeshStore:
         self.max_lod = max_lod
         self.e_cap = e_cap
         self.build_report = build_report
+        #: The v3 cluster section (``None`` for stores built before the
+        #: cluster layer — the engine then serves via the per-node
+        #: oracle path only).
+        self.clusters = clusters
         # Node-extent statistics live in the in-memory catalog (the
         # paper reads them "from the R-tree index"); computing them
         # here keeps measured queries free of catalog I/O.
         self.cost_model = RTreeCostModel(rtree.node_stats())
+        #: Admission estimator denominated in cluster-run pages (the
+        #: I/O the clustered path actually performs); ``None`` without
+        #: a cluster section.
+        self.cluster_cost_model = (
+            ClusterCostModel(clusters.index) if clusters is not None else None
+        )
 
     # -- construction -------------------------------------------------------
 
@@ -129,6 +148,8 @@ class DirectMeshStore:
         prefix: str = "dm",
         bulk_index: bool = True,
         compress_connections: bool = False,
+        clustered: bool = True,
+        cluster_nodes: int = DEFAULT_CLUSTER_NODES,
     ) -> "DirectMeshStore":
         """Materialise a Direct Mesh store from a normalised PM.
 
@@ -142,6 +163,11 @@ class DirectMeshStore:
                 false to exercise dynamic R* insertion.
             compress_connections: store connection lists delta+varint
                 coded (extension; smaller records, same query results).
+            clustered: also materialise the v3 cluster section —
+                Hilbert-ordered node clusters as contiguous page runs
+                (:mod:`repro.core.clusters`) enabling the engine's
+                cluster fast path; ``False`` builds a v2-shaped store.
+            cluster_nodes: target cluster size in nodes.
         """
         if not pm.is_normalized:
             raise QueryError("progressive mesh must be normalised")
@@ -172,6 +198,7 @@ class DirectMeshStore:
         total_conn = 0
         entries: list[tuple[Box3, int]] = []
         id_to_rid: list[tuple[int, int]] = []
+        payloads: list[bytes] = []
         for node in ordered:
             conn = connections.get(node.id, [])
             payload = encode_dm_node(node, conn, compress=compress_connections)
@@ -179,6 +206,7 @@ class DirectMeshStore:
             total_conn += len(conn)
             rid = heap.insert(payload)
             id_to_rid.append((node.id, rid))
+            payloads.append(payload)
             e_high = node.e_high if node.e_high != LOD_INFINITY else e_cap
             entries.append(
                 (Box3.vertical_segment(node.x, node.y, node.e, e_high), rid)
@@ -191,6 +219,17 @@ class DirectMeshStore:
                 rtree.insert(box, rid)
         btree.bulk_load(sorted(id_to_rid))
 
+        clusters: ClusterSet | None = None
+        if clustered:
+            directory = build_cluster_runs(
+                database, prefix, ordered, payloads, e_cap,
+                cluster_nodes=cluster_nodes,
+            )
+            directory.save(database, prefix)
+            clusters = ClusterSet(
+                database.segment(directory.segment), directory
+            )
+
         report = DMBuildReport(
             n_nodes=len(pm.nodes),
             heap_pages=heap.n_pages,
@@ -198,10 +237,16 @@ class DirectMeshStore:
             btree_pages=database.segment_pages(f"{prefix}_btree"),
             total_record_bytes=total_bytes,
             total_connection_entries=total_conn,
+            cluster_pages=(
+                database.segment_pages(f"{prefix}_cruns") if clustered else 0
+            ),
         )
-        cls._save_meta(database, prefix, max_lod, e_cap)
+        cls._save_meta(database, prefix, max_lod, e_cap, clustered=clustered)
         database.buffer.flush_dirty()
-        return cls(database, heap, rtree, btree, max_lod, e_cap, report)
+        return cls(
+            database, heap, rtree, btree, max_lod, e_cap, report,
+            clusters=clusters,
+        )
 
     @classmethod
     def open(cls, database: Database, prefix: str = "dm") -> "DirectMeshStore":
@@ -214,17 +259,38 @@ class DirectMeshStore:
         heap = HeapFile(database.segment(f"{prefix}_nodes"))
         rtree = RStarTree(database.segment(f"{prefix}_rtree"))
         btree = BPlusTree(database.segment(f"{prefix}_btree"))
+        # v2 read compat: stores built before the cluster layer have no
+        # directory sidecar and open with clustering unavailable.
+        clusters: ClusterSet | None = None
+        if ClusterDirectory.exists(database, prefix):
+            directory = ClusterDirectory.load(database, prefix)
+            clusters = ClusterSet(
+                database.segment(directory.segment), directory
+            )
         return cls(
-            database, heap, rtree, btree, meta["max_lod"], meta["e_cap"]
+            database, heap, rtree, btree, meta["max_lod"], meta["e_cap"],
+            clusters=clusters,
         )
 
     @staticmethod
     def _save_meta(
-        database: Database, prefix: str, max_lod: float, e_cap: float
+        database: Database,
+        prefix: str,
+        max_lod: float,
+        e_cap: float,
+        clustered: bool = False,
     ) -> None:
+        # "format" 3 marks the cluster section; readers never require
+        # the key (v2 metas predate it) — the directory sidecar is the
+        # actual open-time signal.
+        meta = {
+            "max_lod": max_lod,
+            "e_cap": e_cap,
+            "format": 3 if clustered else 2,
+        }
         meta_path = database.path / f"{prefix}_{_META_FILE}"
         with open(meta_path, "w", encoding="ascii") as f:
-            json.dump({"max_lod": max_lod, "e_cap": e_cap}, f)
+            json.dump(meta, f)
 
     # -- record access ----------------------------------------------------------
 

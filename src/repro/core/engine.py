@@ -85,7 +85,13 @@ from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Iterable, Sequence, Union
 
-from repro.core.cache import CacheStats, SemanticCache
+from repro.core.cache import (
+    DEFAULT_CLUSTER_CACHE_BYTES,
+    CacheStats,
+    ClusterCache,
+    SemanticCache,
+)
+from repro.core.clusters import intersecting_rows
 from repro.core.cost_model import RTreeCostModel
 from repro.core.query import (
     DMQueryResult,
@@ -107,7 +113,11 @@ from repro.geometry.plane import QueryPlane
 from repro.geometry.primitives import Box3, Rect
 from repro.obs.metrics import MetricsRegistry
 from repro.storage.integrity import PageQuarantine
-from repro.storage.record import DMNodeColumns, DMNodeRecord
+from repro.storage.record import (
+    DMNodeColumns,
+    DMNodeRecord,
+    concat_dm_columns,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.direct_mesh import DirectMeshStore
@@ -214,6 +224,13 @@ class QueryMetrics:
     total_s: float = 0.0
     shared: bool = False
     cached: bool = False
+    #: Clustered fast path only: candidate clusters this query's group
+    #: selected, and the nodes those clusters decoded to *before*
+    #: narrowing to the probe box — ``nodes_decoded / retrieved`` is
+    #: the cluster overfetch ratio ``explain`` reports.  Zero on the
+    #: per-node oracle path.
+    clusters_touched: int = 0
+    nodes_decoded: int = 0
 
 
 @dataclass
@@ -539,6 +556,20 @@ class QueryEngine:
             execution (:meth:`run_batch`) is closed-loop by
             construction and stays ungoverned.  ``None`` admits
             everything (the ``--no-admission`` baseline).
+        clustered: serve range queries from the store's v3 cluster
+            section — cluster-granular selection, one sequential run
+            read per cold cluster, cluster-granular caching — instead
+            of the per-node R*-tree walk.  ``None`` (the default)
+            enables it exactly when the store has a cluster section;
+            ``True`` on a store without one raises; ``False`` keeps
+            the per-node path as the correctness oracle.  Results are
+            node-id-identical either way (the parity property suite
+            holds the fast path to the oracle); only ``retrieved``
+            accounting differs — whole clusters are decoded, so the
+            overfetch the batching buys is visible, not hidden.
+        cluster_cache_bytes: budget of the engine's decoded-cluster
+            LRU (:class:`~repro.core.cache.ClusterCache`); only used
+            when the clustered path is active.
     """
 
     def __init__(
@@ -555,6 +586,8 @@ class QueryEngine:
         vectorized: bool = True,
         quarantine_cap: int = 256,
         governor: CostGovernor | None = None,
+        clustered: bool | None = None,
+        cluster_cache_bytes: int = DEFAULT_CLUSTER_CACHE_BYTES,
     ) -> None:
         if workers < 1:
             raise QueryError(f"workers must be >= 1, got {workers}")
@@ -572,6 +605,13 @@ class QueryEngine:
             raise QueryError(
                 f"deadline_s must be positive or None, got {deadline_s}"
             )
+        if clustered is None:
+            clustered = store.clusters is not None
+        elif clustered and store.clusters is None:
+            raise QueryError(
+                "clustered=True but the store has no cluster section "
+                "(rebuild with DirectMeshStore.build(clustered=True))"
+            )
         self._store = store
         self._workers = workers
         self._dedup = dedup
@@ -581,6 +621,10 @@ class QueryEngine:
         self._degrade = degrade
         self._cache = cache
         self._governor = governor
+        self._clustered = clustered
+        self._cluster_cache = (
+            ClusterCache(cluster_cache_bytes) if clustered else None
+        )
         # Base-mesh snapshot for the shed path, fetched once on first
         # shed (double-checked under _base_lock: submit() is called
         # from arbitrary client threads).
@@ -619,6 +663,16 @@ class QueryEngine:
     def cache(self) -> SemanticCache | None:
         """The attached semantic cache (None when caching is off)."""
         return self._cache
+
+    @property
+    def clustered(self) -> bool:
+        """True when range queries run on the cluster fast path."""
+        return self._clustered
+
+    @property
+    def cluster_cache(self) -> ClusterCache | None:
+        """The decoded-cluster LRU (None on the per-node path)."""
+        return self._cluster_cache
 
     @property
     def governor(self) -> CostGovernor | None:
@@ -693,7 +747,7 @@ class QueryEngine:
         governor = self._governor
         if governor is None:
             return self._submit_task(request, deadline, 0.0, degraded=False)
-        cost = governor.estimate(request.query_box(self._store.e_cap))
+        cost = self._estimate_cost(request.query_box(self._store.e_cap))
         registry.histogram("slo.estimated_cost").observe(cost)
         degradable = self._degrade and isinstance(request, UniformRequest)
         decision = governor.decide(tenant, cost, degradable=degradable)
@@ -712,6 +766,25 @@ class QueryEngine:
             )
         registry.counter("engine.shed").inc()
         return _resolved(self._shed_outcome(request))
+
+    def _estimate_cost(self, box: Box3) -> float:
+        """Admission cost of a probe, in predicted physical pages.
+
+        The per-node path uses the paper's DA formula over R*-tree
+        statistics; the clustered path sums the candidate clusters'
+        run lengths (:class:`~repro.core.clusters.ClusterCostModel`) —
+        the pages that path will actually read — so the governor's
+        budget meters the I/O the serving path performs, not the one
+        it replaced.  Both are floored at one page: even a miss pays
+        a descent (or a directory scan).
+        """
+        governor = self._governor
+        if governor is None:
+            return 1.0
+        cluster_model = self._store.cluster_cost_model
+        if self._clustered and cluster_model is not None:
+            return max(1.0, cluster_model.estimate(box))
+        return governor.estimate(box)
 
     def _submit_task(
         self,
@@ -1101,6 +1174,8 @@ class QueryEngine:
 
     def _execute_group(self, group: _Group) -> list[QueryOutcome]:
         """Run the group's range query, fetch, and per-request filters."""
+        if self._clustered:
+            return self._execute_group_clustered(group)
         store = self._store
         registry = self.registry
         tally = _NodeTally()
@@ -1136,6 +1211,117 @@ class QueryEngine:
         registry.histogram("engine.filter_s").observe(metrics.filter_s)
         registry.histogram("engine.query_s").observe(metrics.total_s)
         registry.histogram("engine.nodes_visited").observe(tally.count)
+        registry.histogram("engine.pages_read").observe(probe.physical_reads)
+        registry.histogram("engine.cache_hit_rate").observe(
+            probe.cache_hit_rate
+        )
+        return outcomes
+
+    def _execute_group_clustered(self, group: _Group) -> list[QueryOutcome]:
+        """Clustered twin of :meth:`_execute_group`.
+
+        Selection runs against the cluster directory (one vectorized
+        intersection over per-cluster extents) instead of the R*-tree;
+        each candidate cluster is served from the decoded-cluster LRU
+        or bulk-fetched with one sequential run read and one columnar
+        decode.  Candidate pages concatenate into a single columnar
+        batch and flow through the *same* per-request filters as every
+        other path — which is the whole parity argument: a node
+        passing the filter has its capped segment intersecting the
+        probe box, so its cluster's extent (a union of such segments)
+        is always a candidate.
+
+        The decoded batch is *narrowed* to the rows whose capped
+        segment intersects the probe box (:func:`intersecting_rows`)
+        before filtering: that is exactly the row set an R*-tree probe
+        retrieves, so ``retrieved`` counts, semantic-cache cubes, and
+        dedup-follower behaviour stay bit-identical to the oracle
+        path.  The pre-narrow count is kept as ``nodes_decoded`` — the
+        overfetch ratio stays measurable.
+
+        Metric mapping: ``nodes_visited`` counts clusters examined
+        (the selection work this path does) and ``pages_read`` counts
+        the run pages actually transferred (the pager records a run as
+        its page count, not one probe call).
+        """
+        store = self._store
+        clusters = store.clusters
+        cluster_cache = self._cluster_cache
+        if clusters is None or cluster_cache is None:
+            raise InvariantError(
+                "clustered execution without a cluster section"
+            )
+        registry = self.registry
+        decode_hits = 0
+        runs_read = 0
+        started = time.perf_counter()
+        with store.database.stats.attribute() as probe:
+            cids = clusters.index.candidates(group.box)
+            index_done = time.perf_counter()
+            parts: list[DMNodeColumns] = []
+            hit_pages = 0
+            for cid in cids:
+                columns = cluster_cache.get(cid)
+                if columns is None:
+                    columns = clusters.decode(cid)
+                    cluster_cache.put(cid, columns)
+                    runs_read += 1
+                else:
+                    decode_hits += 1
+                    hit_pages += clusters.meta(cid).n_pages
+                parts.append(columns)
+            if hit_pages:
+                # A decode hit stands in for requesting the run's pages
+                # and finding every one resident: count them as logical
+                # reads so per-probe hit rates mean the same thing on
+                # both serving paths (misses are counted by read_run).
+                store.database.stats.record_logical_read(
+                    clusters.segment.name, pages=hit_pages
+                )
+            batch = concat_dm_columns(parts)
+            nodes_decoded = len(batch)
+            if nodes_decoded:
+                records = batch.select(
+                    intersecting_rows(batch, group.box, store.e_cap)
+                )
+            else:
+                records = batch
+            fetch_done = time.perf_counter()
+            outcomes = self._filter_group(group, records, shared=False)
+        finished = time.perf_counter()
+        if self._cache is not None:
+            self._cache.insert(group.box, records)
+
+        metrics = QueryMetrics(
+            nodes_visited=len(cids),
+            pages_read=probe.physical_reads,
+            logical_reads=probe.logical_reads,
+            cache_hit_rate=probe.cache_hit_rate,
+            index_s=index_done - started,
+            fetch_s=fetch_done - index_done,
+            filter_s=finished - fetch_done,
+            total_s=finished - started,
+            clusters_touched=len(cids),
+            nodes_decoded=nodes_decoded,
+        )
+        group.records = records
+        for outcome in outcomes:
+            outcome.metrics = metrics
+        if runs_read:
+            registry.counter("storage.cluster_reads").inc(runs_read)
+            registry.counter("cluster.decode_misses").inc(runs_read)
+        if decode_hits:
+            registry.counter("cluster.decode_hits").inc(decode_hits)
+        cache_stats = cluster_cache.stats()
+        registry.gauge("cluster.bytes").set(cache_stats.bytes)
+        registry.gauge("cluster.entries").set(cache_stats.entries)
+        registry.gauge("cluster.evictions").set(cache_stats.evictions)
+        registry.histogram("engine.clusters_touched").observe(len(cids))
+        registry.histogram("engine.index_s").observe(metrics.index_s)
+        registry.histogram("engine.fetch_s").observe(metrics.fetch_s)
+        registry.histogram("engine.filter_s").observe(metrics.filter_s)
+        registry.histogram("engine.query_s").observe(metrics.total_s)
+        registry.histogram("engine.nodes_visited").observe(len(cids))
         registry.histogram("engine.pages_read").observe(probe.physical_reads)
         registry.histogram("engine.cache_hit_rate").observe(
             probe.cache_hit_rate

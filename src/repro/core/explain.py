@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
+from repro.core.query import clamp_lod
 from repro.errors import QueryError
 from repro.geometry.plane import QueryPlane
 from repro.geometry.primitives import Box3, Rect
@@ -27,7 +28,7 @@ from repro.geometry.primitives import Box3, Rect
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.direct_mesh import DirectMeshStore
 
-__all__ = ["explain", "QueryExplanation", "RangeStep"]
+__all__ = ["explain", "ClusterView", "QueryExplanation", "RangeStep"]
 
 
 @dataclass(frozen=True)
@@ -50,6 +51,62 @@ class RangeStep:
 
 
 @dataclass
+class ClusterView:
+    """The cluster fast path's side of a plan.
+
+    The static half (``candidates`` / ``run_pages`` / ``nodes``) comes
+    from the in-memory cluster directory: which clusters the probe
+    cubes select and what decoding them costs.  The executed half is
+    filled by running the query through a fresh
+    :class:`~repro.core.engine.QueryEngine` — nodes decoded vs
+    retrieved (the overfetch the batched layout trades for sequential
+    I/O) and where each cluster came from (decoded-cluster cache hit
+    vs physical run read).
+    """
+
+    candidates: int
+    run_pages: int
+    nodes: int
+    pages_read: int | None = None
+    nodes_decoded: int | None = None
+    retrieved: int | None = None
+    result_nodes: int | None = None
+    decode_hits: int | None = None
+    decode_misses: int | None = None
+
+    @property
+    def overfetch(self) -> float | None:
+        """Nodes decoded per node retrieved (``None`` before execute
+        or when nothing was retrieved)."""
+        if not self.retrieved or self.nodes_decoded is None:
+            return None
+        return self.nodes_decoded / self.retrieved
+
+    def lines(self) -> list[str]:
+        """The EXPLAIN block's cluster section."""
+        out = [
+            f"  cluster path: {self.candidates} candidate cluster"
+            f"{'' if self.candidates == 1 else 's'}, "
+            f"{self.run_pages} run pages, {self.nodes} nodes"
+        ]
+        if self.nodes_decoded is not None:
+            ratio = self.overfetch
+            ratio_text = f", overfetch {ratio:.1f}x" if ratio else ""
+            out.append(
+                f"  executed clustered: {self.pages_read} pages read, "
+                f"{self.nodes_decoded} decoded -> {self.retrieved} "
+                f"retrieved -> {self.result_nodes} in result{ratio_text}"
+            )
+            out.append(
+                f"  cluster provenance: {self.decode_hits} decoded-cache "
+                f"hit{'' if self.decode_hits == 1 else 's'}, "
+                f"{self.decode_misses} run read"
+                f"{'' if self.decode_misses == 1 else 's'}"
+            )
+        return out
+
+
+@dataclass
 class QueryExplanation:
     """The plan (and optionally the execution) of one terrain query."""
 
@@ -60,6 +117,7 @@ class QueryExplanation:
     actual_da: int | None = None
     result_nodes: int | None = None
     retrieved: int | None = None
+    cluster_view: ClusterView | None = None
 
     @property
     def estimated_da(self) -> float:
@@ -88,6 +146,8 @@ class QueryExplanation:
                 f"{self.retrieved} records retrieved, "
                 f"{self.result_nodes} in result"
             )
+        if self.cluster_view is not None:
+            lines.extend(self.cluster_view.lines())
         return "\n".join(lines)
 
 
@@ -118,6 +178,10 @@ def explain(
             steps=[RangeStep(cube, model.estimate(cube))],
         )
         runner = lambda: store.uniform_query(query, lod)  # noqa: E731
+        # Cluster selection sees what the engine probes: the clamped
+        # cube (an unclamped lod above e_cap selects nothing).
+        probe_e = clamp_lod(lod, store.e_cap)
+        probe_cubes = [Box3.from_rect(query, probe_e, probe_e)]
     elif hasattr(query, "required_lod"):
         plan = model.plan_multi_base(query)
         steps = [
@@ -136,9 +200,32 @@ def explain(
             predicted_gain=plan.predicted_gain,
         )
         runner = lambda: store.multi_base_query(query, plan=plan)  # noqa: E731
+        probe_cubes = [
+            Box3.from_rect(
+                strip.roi,
+                min(strip.e_min, store.e_cap),
+                min(strip.e_max, store.e_cap),
+            )
+            for strip in plan.strips
+        ]
     else:
         raise QueryError(
             f"cannot explain query of type {type(query).__name__}"
+        )
+
+    clusters = store.clusters
+    if clusters is not None:
+        cids = sorted(
+            {
+                cid
+                for cube in probe_cubes
+                for cid in clusters.index.candidates(cube)
+            }
+        )
+        explanation.cluster_view = ClusterView(
+            candidates=len(cids),
+            run_pages=sum(clusters.meta(cid).n_pages for cid in cids),
+            nodes=sum(clusters.meta(cid).n_nodes for cid in cids),
         )
 
     if execute:
@@ -147,4 +234,48 @@ def explain(
         explanation.actual_da = store.database.disk_accesses
         explanation.result_nodes = len(result)
         explanation.retrieved = result.retrieved
+        if explanation.cluster_view is not None:
+            _execute_clustered(store, query, lod, explanation.cluster_view)
     return explanation
+
+
+def _execute_clustered(
+    store: "DirectMeshStore",
+    query: Rect | QueryPlane,
+    lod: float | None,
+    view: ClusterView,
+) -> None:
+    """Run the query through the cluster fast path and fill ``view``.
+
+    A fresh single-worker engine (so its decoded-cluster cache starts
+    cold — the provenance line shows this query's own hits vs run
+    reads).  Non-plane LOD fields are left unexecuted: the engine's
+    request types cover Rect and QueryPlane queries.
+    """
+    from repro.core.engine import (
+        QueryEngine,
+        SingleBaseRequest,
+        UniformRequest,
+    )
+    from repro.obs.metrics import MetricsRegistry
+
+    if isinstance(query, Rect):
+        request = UniformRequest(query, lod)
+    elif isinstance(query, QueryPlane):
+        request = SingleBaseRequest(query)
+    else:
+        return
+    registry = MetricsRegistry()
+    with QueryEngine(store, workers=1, registry=registry) as engine:
+        outcome = engine.run(request)
+    if not outcome.ok or outcome.result is None:
+        return
+    counters = registry.counters()
+    metrics = outcome.metrics
+    view.candidates = metrics.clusters_touched
+    view.pages_read = metrics.pages_read
+    view.nodes_decoded = metrics.nodes_decoded
+    view.retrieved = outcome.result.retrieved
+    view.result_nodes = len(outcome.result.nodes)
+    view.decode_hits = counters.get("cluster.decode_hits", 0)
+    view.decode_misses = counters.get("cluster.decode_misses", 0)

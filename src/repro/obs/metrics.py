@@ -68,6 +68,7 @@ METRIC_NAMES: frozenset[str] = frozenset(
         "engine.nodes_visited",
         "engine.pages_read",
         "engine.cache_hit_rate",
+        "engine.clusters_touched",
         # -- semantic result cache -----------------------------------------
         "cache.hits",
         "cache.misses",
@@ -95,8 +96,15 @@ METRIC_NAMES: frozenset[str] = frozenset(
         "session.frame_bytes",
         "session.churn",
         "session.active",
+        # -- cluster fast path ----------------------------------------------
+        "cluster.decode_hits",
+        "cluster.decode_misses",
+        "cluster.bytes",
+        "cluster.entries",
+        "cluster.evictions",
         # -- storage integrity ---------------------------------------------
         "storage.crc_failures",
+        "storage.cluster_reads",
         "fsck.pages_scanned",
         "fsck.pages_corrupt",
         "fsck.pages_repaired",
@@ -125,6 +133,7 @@ METRIC_FAMILIES: frozenset[str] = frozenset(
     {
         "bench",
         "cache",
+        "cluster",
         "engine",
         "fsck",
         "io",

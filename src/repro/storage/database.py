@@ -87,6 +87,35 @@ class Segment:
         """
         return self._pager.read_page(page_no)
 
+    def read_run(self, start: int, count: int) -> bytes:
+        """Read a contiguous page run, bypassing the buffer pool.
+
+        One sequential physical transfer (see
+        :meth:`repro.storage.pager.Pager.read_pages`) accounted as
+        ``count`` pages read, with the checksum trailers stripped so
+        the result is the concatenated page payloads.  The cluster
+        fast path reads whole cluster runs this way: decoded clusters
+        live in the cluster cache, so routing the bytes through the
+        page-granular pool would only evict pages other access paths
+        still need.  Callers must only read runs that are clean on
+        disk (the builders flush before serving).
+
+        Each page still counts as one *logical* read — the request
+        happened, it just can never be a buffer hit — so the global
+        ``logical >= physical`` invariant and per-probe hit rates stay
+        truthful for mixed workloads.
+        """
+        self._pager.stats.record_logical_read(self._pager.name, pages=count)
+        raw = self._pager.read_pages(start, count)
+        page_size = self._pager.page_size
+        payload = self._pager.payload_size
+        if payload == page_size:
+            return raw
+        return b"".join(
+            raw[i * page_size:i * page_size + payload]
+            for i in range(count)
+        )
+
     def allocate(self) -> tuple[int, bytearray]:
         """Allocate a new page; returns ``(page_no, buffer)``.
 

@@ -5,10 +5,12 @@ lives *on disk*; a silently rotten page therefore poisons every query
 whose interval touches it.  This module is the operational answer:
 
 * :func:`scrub_database` reads **every page of every segment** through
-  the pager (verifying v2 crc trailers on the way) and walks the
+  the pager (verifying v2 crc trailers on the way), walks the
   R*-tree segments structurally — child MBRs contained in their parent
-  entry, segment endpoints ``e_low <= e_high`` — producing a
-  machine-readable :class:`FsckReport`;
+  entry, segment endpoints ``e_low <= e_high`` — and cross-checks
+  every cluster-run directory against its segment (runs in bounds and
+  non-overlapping, blobs decoding to the directory's record counts),
+  producing a machine-readable :class:`FsckReport`;
 * :func:`repair_database` restores corrupt pages from a committed
   write-ahead log (see :meth:`WriteAheadLog.committed_records`) and
   quarantines whatever the log cannot restore into a
@@ -274,6 +276,7 @@ def scrub_database(
     corrupt_keys = {(fault.segment, fault.page) for fault in report.corrupt}
     for name in database.segment_names():
         _scrub_rtree(database, name, corrupt_keys, report.structural)
+    _scrub_clusters(database, corrupt_keys, report.structural)
     if registry is not None:
         registry.counter("fsck.pages_scanned").inc(report.pages_scanned)
         registry.counter("fsck.pages_corrupt").inc(report.corrupt_pages)
@@ -386,6 +389,93 @@ def _scrub_rtree(
             if not is_leaf:
                 stack.append(
                     (payload_val, level - 1, (x0, y0, e0, x1, y1, e1))
+                )
+
+
+def _scrub_clusters(
+    database: "Database",
+    corrupt_keys: set[tuple[str, int]],
+    problems: list[str],
+) -> None:
+    """Cluster-run and directory consistency (no-op without sidecars).
+
+    For every ``{prefix}_clusters.json`` directory: the run segment
+    must exist, each cluster's page run must lie inside it, runs must
+    not overlap, the byte count must fit its page count exactly
+    (``ceil`` packing, like the builder writes), and the run's blob
+    must decode to the directory's record count.  Runs touching pages
+    the crc scan already flagged are skipped — one corrupt page is one
+    fault, not two.
+    """
+    # Local import: the cluster layer lives above storage, and fsck
+    # only needs its codec + directory reader when sidecars exist.
+    from repro.core.clusters import ClusterDirectory, decode_cluster_blob
+
+    suffix = "_clusters.json"
+    for path in sorted(Path(database.path).glob(f"*{suffix}")):
+        prefix = path.name[: -len(suffix)]
+        try:
+            directory = ClusterDirectory.load(database, prefix)
+        except StorageError as exc:
+            problems.append(
+                f"{path.name}: unreadable cluster directory ({exc})"
+            )
+            continue
+        name = directory.segment
+        if name not in database.segment_names():
+            problems.append(
+                f"{path.name}: cluster run segment {name} missing"
+            )
+            continue
+        segment = database.segment(name)
+        payload = segment.payload_size
+        spans: list[tuple[int, int, int]] = []
+        for meta in directory.clusters:
+            label = f"{name}: cluster {meta.cluster_id}"
+            end = meta.start_page + meta.n_pages
+            if (
+                meta.n_pages < 1
+                or meta.start_page < 0
+                or end > segment.n_pages
+            ):
+                problems.append(
+                    f"{label} run [{meta.start_page}, {end}) outside "
+                    f"segment ({segment.n_pages} pages)"
+                )
+                continue
+            if (
+                meta.n_bytes > meta.n_pages * payload
+                or meta.n_bytes <= (meta.n_pages - 1) * payload
+            ):
+                problems.append(
+                    f"{label} directory claims {meta.n_bytes} bytes in "
+                    f"{meta.n_pages} run pages"
+                )
+                continue
+            spans.append((meta.start_page, end, meta.cluster_id))
+            if any(
+                (name, page_no) in corrupt_keys
+                for page_no in range(meta.start_page, end)
+            ):
+                continue  # The crc scan already reported these pages.
+            try:
+                blob = segment.read_run(meta.start_page, meta.n_pages)
+                records = decode_cluster_blob(blob[: meta.n_bytes])
+            except PageCorruptionError:
+                continue  # Raced a concurrent writer; crc scan owns it.
+            except StorageError as exc:
+                problems.append(f"{label} blob does not decode ({exc})")
+                continue
+            if len(records) != meta.n_nodes:
+                problems.append(
+                    f"{label} blob holds {len(records)} records, "
+                    f"directory says {meta.n_nodes}"
+                )
+        spans.sort()
+        for (_, prev_end, prev_id), (start, _, cid) in zip(spans, spans[1:]):
+            if start < prev_end:
+                problems.append(
+                    f"{name}: cluster {cid} run overlaps cluster {prev_id}"
                 )
 
 

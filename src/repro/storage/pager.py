@@ -163,6 +163,11 @@ class Pager:
         with self._crc_lock:
             return self._crc_failures
 
+    @property
+    def stats(self) -> DiskStats:
+        """The shared :class:`DiskStats` this pager records into."""
+        return self._stats
+
     def allocate(self) -> int:
         """Extend the file by one zeroed page; returns its page number.
 
@@ -235,6 +240,89 @@ class Pager:
         if self._stats.trace_hook is not None:
             self._stats.trace_hook(self.name, page_no)
         return buf
+
+    def read_pages(self, start: int, count: int) -> bytes:
+        """Read ``count`` consecutive pages in one physical transfer.
+
+        The cluster fast path stores each cluster as a contiguous page
+        *run*; fetching it with one sequential ``pread`` instead of
+        ``count`` single-page reads is the I/O economy the layout buys.
+        The accounting stays honest: the read is recorded as ``count``
+        pages (``DiskStats.record_physical_read(..., pages=count)``),
+        never as one probe call, and the simulated device latency is
+        charged once — a sequential multi-page transfer pays one seek.
+
+        Fault injection and checksum verification remain page-granular
+        so injection drills and ``fsck`` see the same surface as
+        :meth:`read_page`: each page of the run fires the injector and
+        verifies its own crc trailer, and the first bad page raises
+        :class:`~repro.errors.PageCorruptionError` for the whole run
+        (corrupt bytes are not a served page, so nothing is counted).
+
+        Returns the raw run (``count * page_size`` bytes, trailers
+        included); :meth:`repro.storage.database.Segment.read_run`
+        strips the trailers into a contiguous payload.
+        """
+        self._check_open()
+        if count < 1:
+            raise StorageError(
+                f"{self.name}: run length must be >= 1, got {count}"
+            )
+        self._check_range(start)
+        self._check_range(start + count - 1)
+        if self.fault_injector is not None:
+            for page_no in range(start, start + count):
+                self.fault_injector.fire(
+                    "pager.read", f"{self.name}:{page_no}"
+                )
+        if self.io_latency > 0.0:
+            time.sleep(self.io_latency)
+        length = count * self.page_size
+        try:
+            data = os.pread(self._fd, length, start * self.page_size)
+        except OSError as exc:
+            raise StorageError(
+                f"{self.name}: read of pages {start}..{start + count - 1} "
+                f"failed: {exc}",
+                path=str(self._path),
+                page=start,
+            ) from exc
+        if len(data) != length:
+            raise StorageError(
+                f"{self.name}: short read of pages "
+                f"{start}..{start + count - 1} ({len(data)}/{length} bytes)",
+                path=str(self._path),
+                page=start,
+            )
+        buf = bytearray(data)
+        for i in range(count):
+            page_no = start + i
+            off = i * self.page_size
+            if self.fault_injector is not None:
+                page = bytearray(buf[off:off + self.page_size])
+                self.fault_injector.corrupt_page(
+                    page, f"{self.name}:{page_no}"
+                )
+                buf[off:off + self.page_size] = page
+            if self.checksums:
+                stored, computed = page_checksums(
+                    buf[off:off + self.page_size]
+                )
+                if stored != computed:
+                    self._record_crc_failure()
+                    raise PageCorruptionError(
+                        f"{self.name}: page {page_no} failed checksum "
+                        f"verification",
+                        segment=self.name,
+                        page=page_no,
+                        expected=stored,
+                        actual=computed,
+                    )
+        self._stats.record_physical_read(self.name, pages=count)
+        if self._stats.trace_hook is not None:
+            for page_no in range(start, start + count):
+                self._stats.trace_hook(self.name, page_no)
+        return bytes(buf)
 
     def write_page(self, page_no: int, data: bytes | bytearray) -> None:
         """Write page ``page_no`` to disk (a *physical write*).

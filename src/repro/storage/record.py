@@ -36,6 +36,7 @@ __all__ = [
     "encode_dm_record",
     "decode_dm_node",
     "decode_dm_nodes_columnar",
+    "concat_dm_columns",
     "dm_record_size",
 ]
 
@@ -402,9 +403,88 @@ class DMNodeColumns:
             )
         return out
 
+    def select(self, mask: np.ndarray) -> "DMNodeColumns":
+        """Rows where ``mask`` holds, as a new columnar page.
+
+        The columnar analogue of fetching a subset of RIDs: the fixed
+        columns are gathered directly and the CSR connection offsets
+        are re-based over the surviving rows.  Returns ``self`` when
+        the mask keeps every row (no copies on the common
+        whole-cluster case).
+        """
+        indices = np.flatnonzero(mask)
+        if indices.size == len(self):
+            return self
+        starts = self.conn_offsets[indices]
+        lengths = self.conn_offsets[indices + 1] - starts
+        offsets = np.zeros(indices.size + 1, np.int64)
+        np.cumsum(lengths, out=offsets[1:])
+        total = int(offsets[-1])
+        if total:
+            gather = np.repeat(starts - offsets[:-1], lengths)
+            gather += np.arange(total, dtype=np.int64)
+            flat = self.conn_flat[gather]
+        else:
+            flat = self.conn_flat[:0]
+        return DMNodeColumns(
+            ids=self.ids[indices],
+            x=self.x[indices],
+            y=self.y[indices],
+            z=self.z[indices],
+            e_low=self.e_low[indices],
+            e_high=self.e_high[indices],
+            parent=self.parent[indices],
+            child1=self.child1[indices],
+            child2=self.child2[indices],
+            wing1=self.wing1[indices],
+            wing2=self.wing2[indices],
+            conn_offsets=offsets,
+            conn_flat=flat,
+        )
+
     def records(self) -> list[DMNodeRecord]:
         """Every row materialised (mainly for tests and fallbacks)."""
         return [self.record(i) for i in range(len(self))]
+
+
+def concat_dm_columns(parts: Sequence[DMNodeColumns]) -> DMNodeColumns:
+    """Concatenate columnar pages row-wise into one page.
+
+    The cluster fast path decodes whole clusters independently (and
+    caches them decoded); a query touching several clusters stitches
+    their pages together here before the vectorized filters run.  Row
+    order follows ``parts`` order, and the CSR connection offsets are
+    re-based so ``conn_flat`` slicing stays valid.  Zero- and
+    one-element inputs short-circuit without copying.
+    """
+    parts = [p for p in parts if len(p) > 0]
+    if not parts:
+        return decode_dm_nodes_columnar([])
+    if len(parts) == 1:
+        return parts[0]
+    offsets = np.zeros(sum(len(p) for p in parts) + 1, np.int64)
+    row = 0
+    base = 0
+    for part in parts:
+        n = len(part)
+        offsets[row + 1:row + n + 1] = part.conn_offsets[1:] + base
+        row += n
+        base += int(part.conn_offsets[-1])
+    return DMNodeColumns(
+        ids=np.concatenate([p.ids for p in parts]),
+        x=np.concatenate([p.x for p in parts]),
+        y=np.concatenate([p.y for p in parts]),
+        z=np.concatenate([p.z for p in parts]),
+        e_low=np.concatenate([p.e_low for p in parts]),
+        e_high=np.concatenate([p.e_high for p in parts]),
+        parent=np.concatenate([p.parent for p in parts]),
+        child1=np.concatenate([p.child1 for p in parts]),
+        child2=np.concatenate([p.child2 for p in parts]),
+        wing1=np.concatenate([p.wing1 for p in parts]),
+        wing2=np.concatenate([p.wing2 for p in parts]),
+        conn_offsets=offsets,
+        conn_flat=np.concatenate([p.conn_flat for p in parts]),
+    )
 
 
 def decode_dm_nodes_columnar(

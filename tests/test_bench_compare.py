@@ -7,12 +7,16 @@ import json
 import pytest
 
 from repro.bench.compare import (
+    CLUSTER_REPORT_SCHEMA,
+    cluster_run_key,
     compare_files,
     compare_reports,
+    extract_cluster_runs,
     extract_session_runs,
     extract_slo_runs,
     run_key,
     session_run_key,
+    validate_cluster_report,
 )
 from repro.errors import QueryError
 
@@ -93,6 +97,27 @@ def make_session_run(
     }
 
 
+def make_cluster_run(
+    workload="uniform",
+    path="clustered",
+    p99_ms=30.0,
+) -> dict:
+    return {
+        "schema": CLUSTER_REPORT_SCHEMA,
+        "workload": workload,
+        "path": path,
+        "qps": 1000.0,
+        "requests": 144,
+        "wall_s": 0.15,
+        "workers": 4,
+        "latency_ms": {
+            "p50": p99_ms / 10,
+            "p95": p99_ms / 2,
+            "p99": p99_ms,
+        },
+    }
+
+
 class TestExtract:
     def test_accepts_merged_bench_layout(self):
         payload = {"bench": 6, "slo_openloop": {"runs": [make_run()]}}
@@ -123,6 +148,23 @@ class TestExtract:
         with pytest.raises(QueryError):
             extract_session_runs({"runs": [bad]})
 
+    def test_cluster_merged_layout_and_schema(self):
+        payload = {
+            "bench": 8,
+            "cluster_fastpath": {"runs": [make_cluster_run()]},
+        }
+        assert len(extract_cluster_runs(payload)) == 1
+        assert validate_cluster_report(make_cluster_run()) == []
+        bad = make_cluster_run()
+        bad["path"] = "warp-speed"
+        assert validate_cluster_report(bad)
+        with pytest.raises(QueryError):
+            extract_cluster_runs({"runs": [bad]})
+        truncated = make_cluster_run()
+        del truncated["latency_ms"]["p99"]
+        with pytest.raises(QueryError):
+            extract_cluster_runs({"runs": [truncated]})
+
 
 class TestRunKey:
     def test_distinguishes_mode_rate_and_admission(self):
@@ -147,6 +189,17 @@ class TestRunKey:
         assert len(keys) == 3
         assert session_run_key(make_session_run()) == session_run_key(
             make_session_run(p99_ms=99)
+        )
+
+    def test_cluster_key_distinguishes_workload_and_path(self):
+        keys = {
+            cluster_run_key(make_cluster_run()),
+            cluster_run_key(make_cluster_run(path="per-node")),
+            cluster_run_key(make_cluster_run(workload="viewdep")),
+        }
+        assert len(keys) == 3
+        assert cluster_run_key(make_cluster_run()) == cluster_run_key(
+            make_cluster_run(p99_ms=99)
         )
 
 
@@ -221,6 +274,39 @@ class TestSessionGate:
         result = compare_files(base, cand)
         assert result.ok
         assert len(result.rows) == 2
+
+
+class TestClusterGate:
+    def write(self, path, runs):
+        path.write_text(
+            json.dumps({"bench": 8, "cluster_fastpath": {"runs": runs}})
+        )
+
+    def test_clustered_regression_fails(self, tmp_path):
+        base, cand = tmp_path / "base.json", tmp_path / "cand.json"
+        self.write(base, [make_cluster_run(p99_ms=30.0)])
+        self.write(cand, [make_cluster_run(p99_ms=60.0)])
+        assert not compare_files(base, cand).ok
+
+    def test_per_node_arm_is_exempt(self, tmp_path):
+        base, cand = tmp_path / "base.json", tmp_path / "cand.json"
+        self.write(base, [make_cluster_run(path="per-node", p99_ms=30.0)])
+        self.write(cand, [make_cluster_run(path="per-node", p99_ms=900.0)])
+        assert compare_files(base, cand).ok
+
+    def test_all_three_sections_gate_together(self, tmp_path):
+        base, cand = tmp_path / "base.json", tmp_path / "cand.json"
+        payload = {
+            "bench": 8,
+            "slo_openloop": {"runs": [make_run(p99_ms=20.0)]},
+            "session_delta": {"runs": [make_session_run(p99_ms=5.0)]},
+            "cluster_fastpath": {"runs": [make_cluster_run(p99_ms=30.0)]},
+        }
+        base.write_text(json.dumps(payload))
+        cand.write_text(json.dumps(payload))
+        result = compare_files(base, cand)
+        assert result.ok
+        assert len(result.rows) == 3
 
 
 class TestFilesAndScript:

@@ -236,7 +236,10 @@ class TestStorageWiring:
 class TestFaultIsolation:
     def test_no_exception_escapes_run_batch(self, clean_injector):
         db, store = clean_injector
-        db.buffer.fault_injector = FaultInjector(error_rate=1.0, seed=1)
+        # Device-level injection: covers both the buffered per-node
+        # path and the cluster fast path's pool-bypassing run reads.
+        db.set_fault_injector(FaultInjector(error_rate=1.0, seed=1))
+        db.flush()  # Cold cache: reads (and faults) happen.
         rng = random.Random(3)
         requests = [_random_uniform(store, rng) for _ in range(8)]
         registry = MetricsRegistry()
@@ -257,7 +260,8 @@ class TestFaultIsolation:
         # Every read can fail; retry budget large enough that most
         # requests eventually succeed, and the ones that don't report
         # their own error without touching the others.
-        db.buffer.fault_injector = FaultInjector(error_rate=0.2, seed=5)
+        db.set_fault_injector(FaultInjector(error_rate=0.2, seed=5))
+        db.flush()
         rng = random.Random(7)
         requests = [_random_uniform(store, rng) for _ in range(24)]
         with QueryEngine(store, workers=8, retries=8) as engine:
@@ -296,7 +300,9 @@ class TestFaultIsolation:
             calls["n"] += 1
             raise ValueError("corrupt index node")
 
-        monkeypatch.setattr(store.rtree, "search", boom)
+        # The default engine serves via cluster selection; patching it
+        # (not rtree.search) puts the hard error on the live path.
+        monkeypatch.setattr(store.clusters.index, "candidates", boom)
         registry = MetricsRegistry()
         request = _random_uniform(store, random.Random(29))
         with QueryEngine(
@@ -469,9 +475,10 @@ class TestDemotion:
         # Exactly one injected error: the leader (submitted first,
         # retries=0) eats it and fails; the demoted follower's
         # independent probe then runs fault-free.
-        db.buffer.fault_injector = FaultInjector(
-            error_rate=1.0, seed=3, max_errors=1
+        db.set_fault_injector(
+            FaultInjector(error_rate=1.0, seed=3, max_errors=1)
         )
+        db.flush()  # Cold cache: the leader's read faults.
         registry = MetricsRegistry()
         with QueryEngine(
             store, workers=1, dedup="subsume", retries=0, registry=registry
