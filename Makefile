@@ -6,7 +6,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test test-fast lint lint-repro typecheck ci stress perf-smoke slo-smoke session-smoke cluster-smoke bench-slo bench-session bench-cluster fsck bench report examples clean
+.PHONY: install test test-fast lint lint-repro typecheck ci stress lockwatch perf-smoke slo-smoke session-smoke cluster-smoke bench-slo bench-session bench-cluster fsck bench report examples clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -48,6 +48,18 @@ stress:
 		$(PYTHON) -m pytest tests/test_faults.py tests/test_stress.py \
 			tests/test_engine.py tests/test_metrics.py -q || exit 1; \
 	done
+
+# Runtime lock-order witness: re-run the stress suites with every
+# engine/storage lock instrumented (REPRO_LOCKWATCH=1), dump the
+# observed acquisition-order graph, then require it to be acyclic and
+# a subgraph of the static graph computed by the R9 lockset analysis.
+# Mirrors the `lockwatch` job in CI.
+LOCKWATCH_OUT ?= lockorder.json
+lockwatch:
+	rm -f $(LOCKWATCH_OUT)
+	REPRO_LOCKWATCH=1 REPRO_LOCKWATCH_OUT=$(LOCKWATCH_OUT) \
+		STRESS_RUNS=1 $(MAKE) stress
+	PYTHONPATH=src $(PYTHON) scripts/lockwatch_check.py $(LOCKWATCH_OUT)
 
 # Performance gate: the semantic-cache / vectorized-kernel benchmark
 # with its built-in guards (cached qps >= REPRO_CACHE_GUARD x uncached,

@@ -8,9 +8,12 @@ grammar, and how to add a rule.
 
 from __future__ import annotations
 
+from repro.analysis import locksets as _locksets  # noqa: F401  (R9-R11)
 from repro.analysis import rules as _rules  # noqa: F401  (registers rules)
 from repro.analysis.engine import (
     FileContext,
+    ProjectContext,
+    ProjectRule,
     Rule,
     Violation,
     all_rules,
@@ -21,6 +24,8 @@ from repro.analysis.engine import (
 
 __all__ = [
     "FileContext",
+    "ProjectContext",
+    "ProjectRule",
     "Rule",
     "Violation",
     "all_rules",

@@ -1,19 +1,110 @@
 """CLI entry point: ``python -m repro.analysis [paths...]``.
 
 Exit codes: 0 — clean; 1 — violations found; 2 — usage error.
+
+Machine-readable output for CI annotation:
+
+* ``--json PATH`` — findings as one JSON object (``-`` for stdout);
+* ``--sarif PATH`` — SARIF 2.1.0, the format GitHub code scanning
+  and most editors ingest;
+* ``--lock-graph PATH`` — dump the statically inferred lock-order
+  graph (no linting; used by the lockwatch CI cross-check).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from collections import Counter
 from pathlib import Path
 from typing import Sequence
 
 from repro.analysis import all_rules, check_paths
+from repro.analysis.engine import Violation
 
 DEFAULT_PATHS = ("src", "tests", "benchmarks")
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def violations_json(violations: Sequence[Violation]) -> dict[str, object]:
+    """The ``--json`` payload."""
+    counts = Counter(violation.rule_id for violation in violations)
+    return {
+        "version": 1,
+        "violations": [
+            {
+                "path": violation.path,
+                "line": violation.line,
+                "col": violation.col,
+                "rule": violation.rule_id,
+                "message": violation.message,
+            }
+            for violation in violations
+        ],
+        "counts": {rule_id: counts[rule_id] for rule_id in sorted(counts)},
+    }
+
+
+def violations_sarif(violations: Sequence[Violation]) -> dict[str, object]:
+    """A minimal SARIF 2.1.0 log of the findings."""
+    rules = [
+        {
+            "id": rule.id,
+            "shortDescription": {"text": rule.title},
+        }
+        for rule in all_rules()
+    ]
+    results = [
+        {
+            "ruleId": violation.rule_id,
+            "level": "error",
+            "message": {"text": violation.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": violation.path},
+                        "region": {
+                            "startLine": violation.line,
+                            "startColumn": violation.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        for violation in violations
+    ]
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "reprolint",
+                        "informationUri": (
+                            "https://example.invalid/docs/reprolint"
+                        ),
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def _write_payload(payload: dict[str, object], destination: str) -> None:
+    text = json.dumps(payload, indent=2, sort_keys=False)
+    if destination == "-":
+        print(text)
+    else:
+        Path(destination).write_text(text + "\n", encoding="utf-8")
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -22,7 +113,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         description=(
             "reprolint: project-specific static analysis "
             "(lock discipline, e_cap clamping, lazy-init safety, "
-            "typed invariants, metric registry)"
+            "typed invariants, metric registry, interprocedural "
+            "locksets)"
         ),
     )
     parser.add_argument(
@@ -39,6 +131,24 @@ def main(argv: Sequence[str] | None = None) -> int:
         "--statistics",
         action="store_true",
         help="print a per-rule violation count after the findings",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        help="write findings as JSON to PATH ('-' for stdout)",
+    )
+    parser.add_argument(
+        "--sarif",
+        metavar="PATH",
+        help="write findings as SARIF 2.1.0 to PATH ('-' for stdout)",
+    )
+    parser.add_argument(
+        "--lock-graph",
+        metavar="PATH",
+        help=(
+            "dump the static lock-order graph for the given paths as "
+            "JSON ('-' for stdout) and exit without linting"
+        ),
     )
     args = parser.parse_args(argv)
 
@@ -61,9 +171,20 @@ def main(argv: Sequence[str] | None = None) -> int:
         )
         return 2
 
+    if args.lock_graph:
+        from repro.analysis.locksets import analyze_paths
+
+        analysis = analyze_paths(paths)
+        _write_payload(analysis.order.to_json(), args.lock_graph)
+        return 0
+
     violations = check_paths(paths)
     for violation in violations:
         print(violation.render())
+    if args.json:
+        _write_payload(violations_json(violations), args.json)
+    if args.sarif:
+        _write_payload(violations_sarif(violations), args.sarif)
     if args.statistics and violations:
         counts = Counter(violation.rule_id for violation in violations)
         for rule_id in sorted(counts):

@@ -1,0 +1,517 @@
+"""Project-wide call graph with self-attribute type inference.
+
+The intraprocedural rules in :mod:`repro.analysis.rules` stop at a
+function boundary; the lockset rules (R9–R11) cannot.  This module
+builds the structure they walk:
+
+* a :class:`ProjectIndex` of every class and function in the linted
+  files, reusing :func:`repro.analysis.engine.class_lock_attrs` so the
+  notion of "lock attribute" is identical to R1/R3/R6's;
+* per-class attribute types inferred from ``__init__`` assignments
+  (``self.pager = pager`` with an annotated parameter, ``self.x =
+  ClassName(...)`` construction, ``self.x: T = ...`` annotations —
+  string annotations from ``from __future__ import annotations``
+  included);
+* call resolution: ``self.method(...)``, ``obj.method(...)`` through
+  the inferred type of ``obj`` (locals, parameters, attribute chains,
+  ``@property`` return annotations), ``ClassName(...)`` construction,
+  and bare-name calls to module-level or imported project functions.
+
+The inference is deliberately *trusting*: a local annotation
+(``frame: _Frame``) is taken at face value, exactly as mypy would.
+Unresolvable calls stay unresolved and the lockset analysis treats
+them as non-blocking leaves — the dynamic lockwatch witness
+(:mod:`repro.obs.lockwatch`) exists to catch what that optimism
+misses.
+
+Function qualnames are ``ClassName.method`` for methods and
+``<path>::name`` for module-level functions; class names are assumed
+project-unique (first definition wins).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.analysis.engine import (
+    FileContext,
+    class_lock_attrs,
+    is_self_attr,
+    iter_methods,
+)
+
+__all__ = [
+    "CallGraph",
+    "CallSite",
+    "ClassInfo",
+    "FunctionInfo",
+    "TypeRef",
+    "dotted_name",
+    "parse_annotation",
+]
+
+
+@dataclass(frozen=True)
+class TypeRef:
+    """A resolved-enough type: a bare name plus generic arguments."""
+
+    name: str
+    args: tuple["TypeRef", ...] = ()
+
+
+_NONE_NAMES = {"None", "NoneType"}
+_WRAPPER_NAMES = {"Optional", "Final", "ClassVar", "Annotated"}
+
+
+def parse_annotation(node: ast.AST | None) -> TypeRef | None:
+    """Best-effort annotation → :class:`TypeRef`.
+
+    Handles string annotations, ``Optional[X]`` / ``X | None`` /
+    ``Union[X, None]`` (unwrapping to ``X`` when only one non-None arm
+    remains), and dotted names (``threading.Lock`` → ``Lock``).
+    Returns ``None`` for anything ambiguous.
+    """
+    if node is None:
+        return None
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        try:
+            node = ast.parse(node.value, mode="eval").body
+        except SyntaxError:
+            return None
+        return parse_annotation(node)
+    if isinstance(node, ast.Name):
+        if node.id in _NONE_NAMES:
+            return None
+        return TypeRef(node.id)
+    if isinstance(node, ast.Constant) and node.value is None:
+        return None
+    if isinstance(node, ast.Attribute):
+        return TypeRef(node.attr)
+    if isinstance(node, ast.Subscript):
+        base = parse_annotation(node.value)
+        if base is None:
+            return None
+        slice_node = node.slice
+        arg_nodes = (
+            list(slice_node.elts)
+            if isinstance(slice_node, ast.Tuple)
+            else [slice_node]
+        )
+        if base.name in _WRAPPER_NAMES:
+            return parse_annotation(arg_nodes[0])
+        if base.name == "Union":
+            arms = [parse_annotation(arg) for arg in arg_nodes]
+            real = [arm for arm in arms if arm is not None]
+            return real[0] if len(real) == 1 else None
+        args = tuple(
+            arm
+            for arm in (parse_annotation(arg) for arg in arg_nodes)
+            if arm is not None
+        )
+        return TypeRef(base.name, args)
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+        arms = [parse_annotation(node.left), parse_annotation(node.right)]
+        real = [arm for arm in arms if arm is not None]
+        return real[0] if len(real) == 1 else None
+    return None
+
+
+def dotted_name(node: ast.AST) -> str:
+    """Readable dotted form of a call target, for messages/matching."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return f"{dotted_name(node.value)}.{node.attr}"
+    if isinstance(node, ast.Call):
+        return f"{dotted_name(node.func)}()"
+    if isinstance(node, ast.Subscript):
+        return f"{dotted_name(node.value)}[...]"
+    return "<expr>"
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method definition."""
+
+    qualname: str
+    name: str
+    path: str
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    class_name: str | None = None
+    calls: list["CallSite"] = field(default_factory=list)
+
+    @property
+    def is_locked_contract(self) -> bool:
+        return self.name.endswith("_locked")
+
+
+@dataclass
+class ClassInfo:
+    """One class definition plus its inferred attribute types."""
+
+    name: str
+    path: str
+    node: ast.ClassDef
+    bases: tuple[str, ...]
+    lock_attrs: set[str]
+    attr_types: dict[str, TypeRef] = field(default_factory=dict)
+    methods: dict[str, FunctionInfo] = field(default_factory=dict)
+
+
+@dataclass
+class CallSite:
+    """One call expression inside a function."""
+
+    node: ast.Call
+    line: int
+    col: int
+    desc: str
+    callee: str | None = None
+    callee_class: str | None = None
+
+
+def _module_key(path: str) -> str:
+    """``src/repro/core/engine.py`` → ``repro.core.engine``."""
+    trimmed = path
+    if trimmed.endswith(".py"):
+        trimmed = trimmed[: -len(".py")]
+    parts = [part for part in trimmed.split("/") if part]
+    if "src" in parts:
+        parts = parts[parts.index("src") + 1 :]
+    return ".".join(parts)
+
+
+class CallGraph:
+    """Classes, functions, attribute types, and resolved call sites."""
+
+    def __init__(self, files: Sequence[FileContext]) -> None:
+        self.classes: dict[str, ClassInfo] = {}
+        self.functions: dict[str, FunctionInfo] = {}
+        #: path → {local function name → qualname}
+        self._module_functions: dict[str, dict[str, str]] = {}
+        #: dotted module → path, for resolving ``from x import f``.
+        self._module_paths: dict[str, str] = {}
+        #: path → {imported local name → (dotted module, original name)}
+        self._imports: dict[str, dict[str, tuple[str, str]]] = {}
+        #: callee qualname → list of (caller qualname, site).
+        self.callers: dict[str, list[tuple[str, CallSite]]] = {}
+
+        for ctx in files:
+            self._index_file(ctx)
+        for info in self.classes.values():
+            self._infer_attr_types(info)
+        for function in self.functions.values():
+            self._resolve_calls(function)
+        for function in self.functions.values():
+            for site in function.calls:
+                if site.callee is not None:
+                    self.callers.setdefault(site.callee, []).append(
+                        (function.qualname, site)
+                    )
+
+    # -- indexing ------------------------------------------------------------
+
+    def _index_file(self, ctx: FileContext) -> None:
+        self._module_paths.setdefault(_module_key(ctx.path), ctx.path)
+        module_functions: dict[str, str] = {}
+        imports: dict[str, tuple[str, str]] = {}
+        for stmt in ctx.tree.body:
+            if isinstance(stmt, ast.ClassDef):
+                self._index_class(ctx.path, stmt)
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qualname = f"{ctx.path}::{stmt.name}"
+                info = FunctionInfo(qualname, stmt.name, ctx.path, stmt)
+                self.functions.setdefault(qualname, info)
+                module_functions[stmt.name] = qualname
+            elif isinstance(stmt, ast.ImportFrom) and stmt.module:
+                for alias in stmt.names:
+                    local = alias.asname or alias.name
+                    imports[local] = (stmt.module, alias.name)
+        # Function-local imports count too (the DCL import pattern).
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ImportFrom) and node.module:
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    imports.setdefault(local, (node.module, alias.name))
+        self._module_functions[ctx.path] = module_functions
+        self._imports[ctx.path] = imports
+
+    def _index_class(self, path: str, node: ast.ClassDef) -> None:
+        if node.name in self.classes:
+            return  # First definition wins; class names assumed unique.
+        bases = tuple(
+            base.id if isinstance(base, ast.Name) else base.attr
+            for base in node.bases
+            if isinstance(base, (ast.Name, ast.Attribute))
+        )
+        info = ClassInfo(
+            name=node.name,
+            path=path,
+            node=node,
+            bases=bases,
+            lock_attrs=class_lock_attrs(node),
+        )
+        for method in iter_methods(node):
+            qualname = f"{node.name}.{method.name}"
+            function = FunctionInfo(
+                qualname, method.name, path, method, class_name=node.name
+            )
+            info.methods[method.name] = function
+            self.functions.setdefault(qualname, function)
+        self.classes[node.name] = info
+
+    def _infer_attr_types(self, info: ClassInfo) -> None:
+        inferred: dict[str, TypeRef] = {}
+        annotated: dict[str, TypeRef] = {}
+        for stmt in info.node.body:
+            if isinstance(stmt, ast.AnnAssign) and isinstance(
+                stmt.target, ast.Name
+            ):
+                ref = parse_annotation(stmt.annotation)
+                if ref is not None:
+                    annotated[stmt.target.id] = ref
+        for function in info.methods.values():
+            params = _param_annotations(function.node)
+            for node in ast.walk(function.node):
+                if isinstance(node, ast.AnnAssign) and is_self_attr(
+                    node.target
+                ):
+                    ref = parse_annotation(node.annotation)
+                    if ref is not None:
+                        annotated.setdefault(node.target.attr, ref)
+                elif (
+                    isinstance(node, ast.Assign)
+                    and len(node.targets) == 1
+                    and is_self_attr(node.targets[0])
+                ):
+                    attr = node.targets[0].attr
+                    value = node.value
+                    ref: TypeRef | None = None
+                    if isinstance(value, ast.Name):
+                        ref = params.get(value.id)
+                    elif isinstance(value, ast.Call):
+                        callee = value.func
+                        name = (
+                            callee.id
+                            if isinstance(callee, ast.Name)
+                            else callee.attr
+                            if isinstance(callee, ast.Attribute)
+                            else ""
+                        )
+                        if name in self.classes:
+                            ref = TypeRef(name)
+                    if ref is not None:
+                        inferred.setdefault(attr, ref)
+        info.attr_types = {**inferred, **annotated}
+
+    # -- type lookup ---------------------------------------------------------
+
+    def class_and_bases(self, name: str) -> list[ClassInfo]:
+        """The class and its project-known bases, MRO-ish order."""
+        seen: list[ClassInfo] = []
+        queue = [name]
+        visited: set[str] = set()
+        while queue:
+            current = queue.pop(0)
+            if current in visited:
+                continue
+            visited.add(current)
+            info = self.classes.get(current)
+            if info is None:
+                continue
+            seen.append(info)
+            queue.extend(info.bases)
+        return seen
+
+    def attr_type(self, class_name: str, attr: str) -> TypeRef | None:
+        """Type of ``<class>.<attr>`` — attribute or @property return."""
+        for info in self.class_and_bases(class_name):
+            ref = info.attr_types.get(attr)
+            if ref is not None:
+                return ref
+            method = info.methods.get(attr)
+            if method is not None and _is_property(method.node):
+                return parse_annotation(method.node.returns)
+        return None
+
+    def lock_owner(self, class_name: str, attr: str) -> str | None:
+        """Name of the class (self or base) declaring lock ``attr``."""
+        for info in self.class_and_bases(class_name):
+            if attr in info.lock_attrs:
+                return info.name
+        return None
+
+    def resolve_method(self, class_name: str, method: str) -> str | None:
+        for info in self.class_and_bases(class_name):
+            if method in info.methods:
+                return info.methods[method].qualname
+        return None
+
+    def expr_type(
+        self,
+        expr: ast.AST,
+        env: dict[str, TypeRef],
+        cls: ClassInfo | None,
+    ) -> TypeRef | None:
+        """Best-effort static type of an expression."""
+        if isinstance(expr, ast.Name):
+            return env.get(expr.id)
+        if isinstance(expr, ast.Attribute):
+            if is_self_attr(expr) and cls is not None:
+                return self.attr_type(cls.name, expr.attr)
+            base = self.expr_type(expr.value, env, cls)
+            if base is not None:
+                return self.attr_type(base.name, expr.attr)
+            return None
+        if isinstance(expr, ast.Subscript):
+            base = self.expr_type(expr.value, env, cls)
+            if base is None:
+                return None
+            if base.name in {"dict", "Dict", "OrderedDict", "defaultdict"}:
+                return base.args[1] if len(base.args) == 2 else None
+            if base.name in {"list", "List", "deque", "tuple", "Sequence"}:
+                return base.args[0] if base.args else None
+            return None
+        if isinstance(expr, ast.Call):
+            func = expr.func
+            if isinstance(func, ast.Name) and func.id in self.classes:
+                return TypeRef(func.id)
+            if isinstance(func, ast.Attribute):
+                base = self.expr_type(func.value, env, cls)
+                if base is not None:
+                    qualname = self.resolve_method(base.name, func.attr)
+                    if qualname is not None:
+                        returns = self.functions[qualname].node.returns
+                        return parse_annotation(returns)
+            return None
+        return None
+
+    # -- call resolution -----------------------------------------------------
+
+    def _local_env(self, function: FunctionInfo) -> dict[str, TypeRef]:
+        cls = (
+            self.classes.get(function.class_name)
+            if function.class_name
+            else None
+        )
+        env = _param_annotations(function.node)
+        # Two passes so `a = self.pager` then `b = a.stats` both type.
+        for _ in range(2):
+            for node in ast.walk(function.node):
+                if isinstance(node, ast.AnnAssign) and isinstance(
+                    node.target, ast.Name
+                ):
+                    ref = parse_annotation(node.annotation)
+                    if ref is not None:
+                        env.setdefault(node.target.id, ref)
+                elif (
+                    isinstance(node, ast.Assign)
+                    and len(node.targets) == 1
+                    and isinstance(node.targets[0], ast.Name)
+                ):
+                    ref = self.expr_type(node.value, env, cls)
+                    if ref is not None:
+                        env.setdefault(node.targets[0].id, ref)
+        return env
+
+    def _resolve_calls(self, function: FunctionInfo) -> None:
+        cls = (
+            self.classes.get(function.class_name)
+            if function.class_name
+            else None
+        )
+        env = self._local_env(function)
+        imports = self._imports.get(function.path, {})
+        module_functions = self._module_functions.get(function.path, {})
+        for node in ast.walk(function.node):
+            if not isinstance(node, ast.Call):
+                continue
+            site = CallSite(
+                node=node,
+                line=node.lineno,
+                col=node.col_offset,
+                desc=dotted_name(node.func),
+            )
+            func = node.func
+            if isinstance(func, ast.Name):
+                self._resolve_name_call(
+                    func.id, site, module_functions, imports
+                )
+            elif isinstance(func, ast.Attribute):
+                owner: str | None = None
+                if is_self_attr(func) and cls is not None:
+                    owner = cls.name
+                else:
+                    base = self.expr_type(func.value, env, cls)
+                    if base is not None:
+                        owner = base.name
+                if owner is not None:
+                    qualname = self.resolve_method(owner, func.attr)
+                    if qualname is not None:
+                        site.callee = qualname
+                        site.callee_class = self.functions[
+                            qualname
+                        ].class_name
+            function.calls.append(site)
+
+    def _resolve_name_call(
+        self,
+        name: str,
+        site: CallSite,
+        module_functions: dict[str, str],
+        imports: dict[str, tuple[str, str]],
+    ) -> None:
+        if name in self.classes:
+            qualname = self.resolve_method(name, "__init__")
+            site.callee = qualname
+            site.callee_class = name
+            return
+        if name in module_functions:
+            site.callee = module_functions[name]
+            return
+        target = imports.get(name)
+        if target is not None:
+            module, original = target
+            path = self._module_paths.get(module)
+            if path is not None:
+                if original in self.classes and (
+                    self.classes[original].path == path
+                ):
+                    site.callee = self.resolve_method(original, "__init__")
+                    site.callee_class = original
+                    return
+                site.callee = self._module_functions.get(path, {}).get(
+                    original
+                )
+
+
+def _param_annotations(
+    node: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> dict[str, TypeRef]:
+    params: dict[str, TypeRef] = {}
+    all_args = [
+        *node.args.posonlyargs,
+        *node.args.args,
+        *node.args.kwonlyargs,
+    ]
+    for arg in all_args:
+        ref = parse_annotation(arg.annotation)
+        if ref is not None:
+            params[arg.arg] = ref
+    return params
+
+
+def _is_property(node: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    for decorator in node.decorator_list:
+        name = (
+            decorator.id
+            if isinstance(decorator, ast.Name)
+            else decorator.attr
+            if isinstance(decorator, ast.Attribute)
+            else ""
+        )
+        if name in {"property", "cached_property"}:
+            return True
+    return False

@@ -17,7 +17,11 @@ The engine is deliberately small:
   are parsed from comment tokens.  A suppression **must** carry a
   reason; a bare or malformed pragma is itself reported (rule ``R0``);
 * :func:`check_paths` walks directories, skipping caches and the
-  ``reprolint_fixtures`` corpus (which is intentionally-bad code).
+  ``reprolint_fixtures`` corpus (which is intentionally-bad code);
+* project rules (:class:`ProjectRule`) see *every* file at once via a
+  :class:`ProjectContext` — that is how the interprocedural lockset
+  rules (R9–R11 in :mod:`repro.analysis.locksets`) follow a call from
+  ``engine.py`` into ``cache.py`` while a lock is held.
 
 Paths are normalised to POSIX form relative to the repository root so
 rules can scope themselves (e.g. R4 applies only under ``src/``).
@@ -32,10 +36,12 @@ import re
 import tokenize
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, Iterator, Sequence
+from typing import Callable, Iterable, Iterator, Sequence
 
 __all__ = [
     "FileContext",
+    "ProjectContext",
+    "ProjectRule",
     "Rule",
     "Violation",
     "all_rules",
@@ -134,6 +140,26 @@ class FileContext:
         return self.path.endswith(suffixes)
 
 
+class ProjectContext:
+    """Every parsed file of one lint run, for whole-program rules.
+
+    Project rules share expensive derived structures (the call graph,
+    the lockset fixed point) through :meth:`memo`, so three rules over
+    the same analysis cost one analysis.
+    """
+
+    def __init__(self, files: Sequence[FileContext]) -> None:
+        self.files = list(files)
+        self.by_path = {ctx.path: ctx for ctx in self.files}
+        self._memo: dict[str, object] = {}
+
+    def memo(self, key: str, build: "Callable[[ProjectContext], object]") -> object:
+        """Cache ``build(self)`` under ``key`` for the lifetime of the run."""
+        if key not in self._memo:
+            self._memo[key] = build(self)
+        return self._memo[key]
+
+
 class Rule:
     """Base class for reprolint rules.
 
@@ -161,6 +187,33 @@ class Rule:
         )
 
 
+class ProjectRule(Rule):
+    """A rule that needs the whole project, not one file.
+
+    Subclasses implement :meth:`check_project` instead of
+    :meth:`check`; the driver runs them once per lint invocation after
+    every file has parsed, and routes each finding back through the
+    suppressions of the file it names.
+    """
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        return iter(())
+
+    def check_project(self, project: ProjectContext) -> Iterator[Violation]:
+        raise NotImplementedError
+
+    def project_violation(
+        self, path: str, node: ast.AST, message: str
+    ) -> Violation:
+        return Violation(
+            path=path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule_id=self.id,
+            message=message,
+        )
+
+
 _REGISTRY: dict[str, Rule] = {}
 
 
@@ -176,8 +229,11 @@ def register(cls: type[Rule]) -> type[Rule]:
 
 
 def all_rules() -> list[Rule]:
-    """Registered rules, ordered by id."""
-    return [_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY)]
+    """Registered rules, ordered by numeric id (R2 before R10)."""
+    return [
+        _REGISTRY[rule_id]
+        for rule_id in sorted(_REGISTRY, key=lambda rid: int(rid[1:]))
+    ]
 
 
 # -- shared AST helpers (used by several rules) ------------------------------
@@ -192,15 +248,23 @@ def is_self_attr(node: ast.AST) -> bool:
     )
 
 
+#: Call names that construct a lock.  ``watched_lock`` is the
+#: env-gated instrumented wrapper from :mod:`repro.obs.lockwatch` —
+#: recognising it here keeps R1/R3/R6 and the lockset analysis sighted
+#: after a class switches to instrumented locks.
+LOCK_CONSTRUCTORS = frozenset({"Lock", "RLock", "watched_lock"})
+
+
 def _is_lock_call(node: ast.AST) -> bool:
-    """True for ``threading.Lock()`` / ``RLock()`` style calls."""
+    """True for ``threading.Lock()`` / ``RLock()`` / ``watched_lock()``
+    style calls."""
     if not isinstance(node, ast.Call):
         return False
     func = node.func
     name = func.attr if isinstance(func, ast.Attribute) else (
         func.id if isinstance(func, ast.Name) else ""
     )
-    return name in {"Lock", "RLock"}
+    return name in LOCK_CONSTRUCTORS
 
 
 def _is_lock_factory(node: ast.AST) -> bool:
@@ -213,7 +277,7 @@ def _is_lock_factory(node: ast.AST) -> bool:
             name = value.attr if isinstance(value, ast.Attribute) else (
                 value.id if isinstance(value, ast.Name) else ""
             )
-            if name in {"Lock", "RLock"}:
+            if name in LOCK_CONSTRUCTORS:
                 return True
     return False
 
@@ -453,6 +517,51 @@ def parse_suppressions(
 # -- driving -----------------------------------------------------------------
 
 
+def _parse_file(
+    source: str, path: str, known_ids: set[str]
+) -> tuple[FileContext | None, Suppressions, list[Violation]]:
+    """Parse one file into a context, its suppressions, and any E0."""
+    suppressions = parse_suppressions(path, source, known_ids)
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        error = Violation(
+            path,
+            exc.lineno or 1,
+            (exc.offset or 1) - 1,
+            "E0",
+            f"file does not parse: {exc.msg}",
+        )
+        return None, suppressions, [error]
+    return FileContext(path, source, tree), suppressions, []
+
+
+def _run_rules(
+    active: Sequence[Rule],
+    contexts: Sequence[FileContext],
+    suppressions: dict[str, Suppressions],
+) -> list[Violation]:
+    """Per-file rules over each file, then project rules over all."""
+    found: list[Violation] = []
+    project: ProjectContext | None = None
+    for rule in active:
+        if isinstance(rule, ProjectRule):
+            if project is None:
+                project = ProjectContext(contexts)
+            candidates = rule.check_project(project)
+        else:
+            candidates = (
+                violation
+                for ctx in contexts
+                for violation in rule.check(ctx)
+            )
+        for violation in candidates:
+            cover = suppressions.get(violation.path)
+            if cover is None or not cover.covers(violation):
+                found.append(violation)
+    return found
+
+
 def check_source(
     source: str,
     path: str = "<string>",
@@ -462,30 +571,17 @@ def check_source(
 
     ``path`` scopes path-sensitive rules (R2's sanctioned wrappers,
     R4's ``src/`` restriction); pass the repo-relative POSIX path.
+    Project rules see a one-file project — that is what keeps the
+    fixture corpus able to exercise R9–R11 file by file.
     """
     active = list(rules) if rules is not None else all_rules()
     known_ids = {rule.id for rule in active} | {
         rule.id for rule in all_rules()
     }
-    suppressions = parse_suppressions(path, source, known_ids)
-    try:
-        tree = ast.parse(source)
-    except SyntaxError as exc:
-        return [
-            Violation(
-                path,
-                exc.lineno or 1,
-                (exc.offset or 1) - 1,
-                "E0",
-                f"file does not parse: {exc.msg}",
-            )
-        ]
-    ctx = FileContext(path, source, tree)
-    found: list[Violation] = []
-    for rule in active:
-        for violation in rule.check(ctx):
-            if not suppressions.covers(violation):
-                found.append(violation)
+    ctx, suppressions, errors = _parse_file(source, path, known_ids)
+    if ctx is None:
+        return errors
+    found = _run_rules(active, [ctx], {path: suppressions})
     found.extend(suppressions.malformed)
     found.sort(key=lambda v: (v.line, v.col, v.rule_id))
     return found
@@ -519,6 +615,12 @@ def check_paths(
     repo-relative paths that path-sensitive rules and reports use.
     """
     anchor = Path(root) if root is not None else Path.cwd()
+    active = list(rules) if rules is not None else all_rules()
+    known_ids = {rule.id for rule in active} | {
+        rule.id for rule in all_rules()
+    }
+    contexts: list[FileContext] = []
+    suppressions: dict[str, Suppressions] = {}
     found: list[Violation] = []
     for file_path in iter_python_files(paths):
         try:
@@ -527,5 +629,12 @@ def check_paths(
         except ValueError:
             virtual = file_path.as_posix()
         source = file_path.read_text(encoding="utf-8")
-        found.extend(check_source(source, virtual, rules))
+        ctx, cover, errors = _parse_file(source, virtual, known_ids)
+        found.extend(errors)
+        found.extend(cover.malformed)
+        suppressions[virtual] = cover
+        if ctx is not None:
+            contexts.append(ctx)
+    found.extend(_run_rules(active, contexts, suppressions))
+    found.sort(key=lambda v: (v.path, v.line, v.col, v.rule_id))
     return found

@@ -1,0 +1,809 @@
+"""Interprocedural lockset analysis and rules R9/R10/R11.
+
+Locks are named ``ClassName._attr`` (``BufferPool._latch``,
+``DiskStats._lock``); a stripe list is one name (``BufferPool._stripes``)
+since any stripe orders identically against every other lock.  For each
+function the analysis records:
+
+* **acquisitions** — ``with self._lock:`` (subscripts and locals bound
+  to a lock attribute included) and bare ``.acquire()`` calls, each
+  with the locks already held at that point;
+* **call sites** — every call with the locks *lexically* held there
+  (``*_locked`` functions additionally carry their owning class's
+  locks as a caller-holds contract).
+
+Held sets then propagate through the call graph to a fixed point:
+**may** (union over call sites) feeds the lock-order graph and R9;
+**must** (intersection) feeds R11.  Blocking-ness (``os.pread``,
+``time.sleep``, subprocess, ``open``, function-level imports)
+propagates bottom-up so R10 sees a stripe-held call reach
+``Pager.read_page``'s ``io_latency`` sleep three frames down.
+
+The rules:
+
+* **R9** — lock-order inversion: any cycle in the global lock-order
+  graph, reported once per strongly connected component with the
+  witness call chain for *each* edge of the cycle.
+* **R10** — blocking call under lock: a call site lexically inside a
+  ``with <lock>:`` region whose callee (transitively) blocks.
+  Reported only at lexical acquisition sites — the frame that chose
+  to hold the lock — not at every propagated-held frame below it.
+* **R11** — ``*_locked`` contract: every call to a ``*_locked``
+  function must have a lock of the owning class in the must-held set.
+
+The static graph is over-approximate (contract seeding, may-union);
+:mod:`repro.obs.lockwatch` provides the dynamic under-approximation,
+and CI checks dynamic ⊆ static.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+from repro.analysis.callgraph import CallGraph, CallSite, ClassInfo, TypeRef
+from repro.analysis.engine import (
+    ProjectContext,
+    ProjectRule,
+    Violation,
+    is_self_attr,
+    register,
+)
+
+__all__ = [
+    "Edge",
+    "LockOrderGraph",
+    "LocksetAnalysis",
+    "analyze",
+    "analyze_paths",
+]
+
+#: Dotted call targets that block (I/O, sleeps, subprocesses).
+BLOCKING_CALLS = frozenset(
+    {
+        "open",
+        "time.sleep",
+        "os.pread",
+        "os.pwrite",
+        "os.read",
+        "os.write",
+        "os.fsync",
+        "os.fdatasync",
+        "os.ftruncate",
+        "os.open",
+        "os.replace",
+        "os.rename",
+        "os.remove",
+        "os.unlink",
+        "os.listdir",
+        "os.stat",
+        "os.makedirs",
+        "shutil.copy",
+        "shutil.copy2",
+        "shutil.copyfile",
+        "shutil.copytree",
+        "shutil.rmtree",
+        "shutil.move",
+    }
+)
+
+_BLOCKING_PREFIXES = ("subprocess.",)
+
+
+def _is_blocking_desc(desc: str) -> bool:
+    if desc in BLOCKING_CALLS:
+        return True
+    return desc.startswith(_BLOCKING_PREFIXES)
+
+
+@dataclass
+class Acquisition:
+    """One lock acquisition inside a function."""
+
+    lock: str
+    line: int
+    col: int
+    held: frozenset[str]  # Locks lexically held when acquiring.
+
+
+@dataclass
+class LockedCall:
+    """One call site annotated with the locks lexically held there."""
+
+    site: CallSite
+    held: frozenset[str]
+
+
+@dataclass
+class BlockingStmt:
+    """A directly blocking statement (import under lock etc.)."""
+
+    desc: str
+    line: int
+    col: int
+    held: frozenset[str]
+
+
+@dataclass
+class FunctionLocks:
+    """Per-function lock facts."""
+
+    qualname: str
+    path: str
+    contract: frozenset[str]
+    acquisitions: list[Acquisition] = field(default_factory=list)
+    calls: list[LockedCall] = field(default_factory=list)
+    blocking_stmts: list[BlockingStmt] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class Edge:
+    """``src`` held while ``dst`` acquired, with a witness."""
+
+    src: str
+    dst: str
+    path: str
+    line: int
+    chain: tuple[str, ...]  # Call chain ending in the acquiring function.
+
+    def witness(self) -> str:
+        via = " -> ".join(self.chain)
+        return f"{via} at {self.path}:{self.line}"
+
+
+class LockOrderGraph:
+    """The global lock-order digraph with one witness per edge."""
+
+    def __init__(self) -> None:
+        self.edges: dict[tuple[str, str], Edge] = {}
+
+    def add(self, edge: Edge) -> None:
+        self.edges.setdefault((edge.src, edge.dst), edge)
+
+    @property
+    def locks(self) -> list[str]:
+        names = {src for src, _ in self.edges} | {
+            dst for _, dst in self.edges
+        }
+        return sorted(names)
+
+    def successors(self, lock: str) -> list[str]:
+        return sorted(
+            dst for (src, dst) in self.edges if src == lock
+        )
+
+    def cycles(self) -> list[list[str]]:
+        """One shortest cycle per cyclic strongly connected component."""
+        sccs = _tarjan_sccs(
+            self.locks, {lock: self.successors(lock) for lock in self.locks}
+        )
+        cycles: list[list[str]] = []
+        for component in sccs:
+            members = set(component)
+            cyclic = len(component) > 1 or (
+                (component[0], component[0]) in self.edges
+            )
+            if not cyclic:
+                continue
+            start = min(component)
+            cycle = _shortest_cycle(start, members, self.successors)
+            if cycle:
+                cycles.append(cycle)
+        return cycles
+
+    def to_json(self) -> dict[str, object]:
+        return {
+            "version": 1,
+            "locks": self.locks,
+            "edges": [
+                {
+                    "src": edge.src,
+                    "dst": edge.dst,
+                    "witness": edge.witness(),
+                }
+                for (_, _), edge in sorted(self.edges.items())
+            ],
+        }
+
+
+def _tarjan_sccs(
+    nodes: list[str], successors: dict[str, list[str]]
+) -> list[list[str]]:
+    """Tarjan's SCCs, iterative, deterministic order."""
+    index: dict[str, int] = {}
+    lowlink: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    result: list[list[str]] = []
+    counter = 0
+
+    for root in nodes:
+        if root in index:
+            continue
+        work: list[tuple[str, int]] = [(root, 0)]
+        while work:
+            node, child_index = work[-1]
+            if child_index == 0:
+                index[node] = lowlink[node] = counter
+                counter += 1
+                stack.append(node)
+                on_stack.add(node)
+            advanced = False
+            children = successors.get(node, [])
+            for position in range(child_index, len(children)):
+                child = children[position]
+                if child not in index:
+                    work[-1] = (node, position + 1)
+                    work.append((child, 0))
+                    advanced = True
+                    break
+                if child in on_stack:
+                    lowlink[node] = min(lowlink[node], index[child])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                component: list[str] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                result.append(sorted(component))
+    return result
+
+
+def _shortest_cycle(
+    start: str,
+    members: set[str],
+    successors: Callable[[str], list[str]],
+) -> list[str] | None:
+    """BFS from ``start`` back to itself inside one SCC."""
+    from collections import deque
+
+    queue: "deque[list[str]]" = deque([[start]])
+    while queue:
+        path = queue.popleft()
+        for nxt in successors(path[-1]):
+            if nxt not in members:
+                continue
+            if nxt == start:
+                return path
+            if nxt in path:
+                continue
+            queue.append(path + [nxt])
+    return None
+
+
+class LocksetAnalysis:
+    """The full interprocedural analysis over one project."""
+
+    def __init__(self, graph: CallGraph) -> None:
+        self.graph = graph
+        self.locks: dict[str, FunctionLocks] = {}
+        for qualname in sorted(graph.functions):
+            self.locks[qualname] = self._collect(qualname)
+        self.entry_may = self._propagate_may()
+        self.entry_must = self._propagate_must()
+        self.blocking: dict[str, tuple[str, tuple[str, ...]]] = (
+            self._propagate_blocking()
+        )
+        self.order = self._build_order_graph()
+
+    # -- per-function facts --------------------------------------------------
+
+    def _contract(self, qualname: str) -> frozenset[str]:
+        function = self.graph.functions[qualname]
+        if not function.is_locked_contract or function.class_name is None:
+            return frozenset()
+        names: set[str] = set()
+        for info in self.graph.class_and_bases(function.class_name):
+            names.update(f"{info.name}.{attr}" for attr in info.lock_attrs)
+        return frozenset(names)
+
+    def _lock_locals(
+        self, qualname: str, cls: ClassInfo | None
+    ) -> dict[str, str]:
+        """Locals bound to a lock attribute: ``stripe = self._stripes[i]``."""
+        function = self.graph.functions[qualname]
+        env = self.graph._local_env(function)
+        bound: dict[str, str] = {}
+        for node in ast.walk(function.node):
+            if not (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+            ):
+                continue
+            lock = self._lock_of_expr(node.value, cls, env, {})
+            if lock is not None:
+                bound[node.targets[0].id] = lock
+        return bound
+
+    def _lock_of_expr(
+        self,
+        expr: ast.AST,
+        cls: ClassInfo | None,
+        env: "dict[str, TypeRef]",
+        lock_locals: dict[str, str],
+    ) -> str | None:
+        """``ClassName._attr`` for a lock-valued expression, else None."""
+        if isinstance(expr, ast.Subscript):
+            expr = expr.value
+        if isinstance(expr, ast.Name):
+            return lock_locals.get(expr.id)
+        if not isinstance(expr, ast.Attribute):
+            return None
+        if is_self_attr(expr):
+            if cls is None:
+                return None
+            owner = self.graph.lock_owner(cls.name, expr.attr)
+            return f"{owner}.{expr.attr}" if owner else None
+        base = self.graph.expr_type(expr.value, env, cls)
+        if base is None:
+            return None
+        owner = self.graph.lock_owner(base.name, expr.attr)
+        return f"{owner}.{expr.attr}" if owner else None
+
+    def _collect(self, qualname: str) -> FunctionLocks:
+        function = self.graph.functions[qualname]
+        cls = (
+            self.graph.classes.get(function.class_name)
+            if function.class_name
+            else None
+        )
+        env = self.graph._local_env(function)
+        lock_locals = self._lock_locals(qualname, cls)
+        contract = self._contract(qualname)
+        facts = FunctionLocks(
+            qualname=qualname, path=function.path, contract=contract
+        )
+        sites_by_id = {id(site.node): site for site in function.calls}
+
+        def lock_of(expr: ast.AST) -> str | None:
+            return self._lock_of_expr(expr, cls, env, lock_locals)
+
+        def scan(node: ast.AST, held: tuple[str, ...]) -> None:
+            if isinstance(
+                node,
+                (
+                    ast.FunctionDef,
+                    ast.AsyncFunctionDef,
+                    ast.Lambda,
+                    ast.ClassDef,
+                ),
+            ):
+                return  # Nested scopes run elsewhere/later.
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                acquired: list[str] = []
+                for item in node.items:
+                    scan(item.context_expr, held)
+                    if item.optional_vars is not None:
+                        scan(item.optional_vars, held)
+                    lock = lock_of(item.context_expr)
+                    if lock is not None:
+                        facts.acquisitions.append(
+                            Acquisition(
+                                lock=lock,
+                                line=item.context_expr.lineno,
+                                col=item.context_expr.col_offset,
+                                held=frozenset(held) | set(acquired),
+                            )
+                        )
+                        acquired.append(lock)
+                inner = held + tuple(acquired)
+                for stmt in node.body:
+                    scan(stmt, inner)
+                return
+            if isinstance(node, ast.Call):
+                site = sites_by_id.get(id(node))
+                if site is not None:
+                    facts.calls.append(
+                        LockedCall(site=site, held=frozenset(held))
+                    )
+                # Bare ``lock.acquire()`` — an acquisition of unknown
+                # extent: record the ordering fact, not the region.
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr == "acquire"
+                ):
+                    lock = lock_of(func.value)
+                    if lock is not None:
+                        facts.acquisitions.append(
+                            Acquisition(
+                                lock=lock,
+                                line=node.lineno,
+                                col=node.col_offset,
+                                held=frozenset(held),
+                            )
+                        )
+            if isinstance(node, (ast.Import, ast.ImportFrom)) and held:
+                facts.blocking_stmts.append(
+                    BlockingStmt(
+                        desc="import (module load does file I/O under "
+                        "the import lock)",
+                        line=node.lineno,
+                        col=node.col_offset,
+                        held=frozenset(held),
+                    )
+                )
+            for child in ast.iter_child_nodes(node):
+                scan(child, held)
+
+        for stmt in function.node.body:
+            scan(stmt, ())
+        return facts
+
+    # -- propagation ---------------------------------------------------------
+
+    def _call_edges(self) -> Iterator[tuple[str, str, LockedCall]]:
+        for qualname, facts in self.locks.items():
+            for call in facts.calls:
+                if call.site.callee in self.graph.functions:
+                    yield qualname, call.site.callee, call
+
+    def _propagate_may(self) -> dict[str, frozenset[str]]:
+        """Union of locks possibly held at entry; seeds contracts."""
+        entry = {
+            qualname: facts.contract
+            for qualname, facts in self.locks.items()
+        }
+        self._provenance: dict[tuple[str, str], tuple[str, int]] = {}
+        changed = True
+        while changed:
+            changed = False
+            for caller, callee, call in self._call_edges():
+                incoming = (
+                    call.held
+                    | entry[caller]
+                    | self.locks[caller].contract
+                )
+                new = incoming - entry[callee]
+                if new:
+                    for lock in new:
+                        self._provenance.setdefault(
+                            (callee, lock), (caller, call.site.line)
+                        )
+                    entry[callee] = entry[callee] | new
+                    changed = True
+        return entry
+
+    def _propagate_must(self) -> dict[str, frozenset[str]]:
+        """Intersection of locks surely held at entry."""
+        all_locks = frozenset(
+            acquisition.lock
+            for facts in self.locks.values()
+            for acquisition in facts.acquisitions
+        ) | frozenset(
+            lock for facts in self.locks.values() for lock in facts.contract
+        )
+        callers: dict[str, list[tuple[str, LockedCall]]] = {}
+        for caller, callee, call in self._call_edges():
+            callers.setdefault(callee, []).append((caller, call))
+        entry: dict[str, frozenset[str]] = {}
+        for qualname, facts in self.locks.items():
+            if qualname in callers:
+                entry[qualname] = all_locks  # TOP, relaxed below.
+            else:
+                entry[qualname] = facts.contract
+        changed = True
+        while changed:
+            changed = False
+            for callee, sites in callers.items():
+                met: frozenset[str] | None = None
+                for caller, call in sites:
+                    held = (
+                        call.held
+                        | entry[caller]
+                        | self.locks[caller].contract
+                    )
+                    met = held if met is None else (met & held)
+                met = (met or frozenset()) | self.locks[callee].contract
+                if met != entry[callee]:
+                    entry[callee] = met
+                    changed = True
+        return entry
+
+    def _propagate_blocking(
+        self,
+    ) -> dict[str, tuple[str, tuple[str, ...]]]:
+        """qualname → (sink description, call chain to it)."""
+        blocking: dict[str, tuple[str, tuple[str, ...]]] = {}
+        for qualname in sorted(self.locks):
+            facts = self.locks[qualname]
+            for call in facts.calls:
+                if call.site.callee is None and _is_blocking_desc(
+                    call.site.desc
+                ):
+                    blocking.setdefault(
+                        qualname, (call.site.desc, (qualname,))
+                    )
+            for stmt in facts.blocking_stmts:
+                blocking.setdefault(qualname, (stmt.desc, (qualname,)))
+        changed = True
+        while changed:
+            changed = False
+            for qualname in sorted(self.locks):
+                if qualname in blocking:
+                    continue
+                for call in self.locks[qualname].calls:
+                    callee = call.site.callee
+                    if callee in blocking:
+                        sink, chain = blocking[callee]
+                        blocking[qualname] = (sink, (qualname,) + chain)
+                        changed = True
+                        break
+        return blocking
+
+    def _chain_to(self, qualname: str, lock: str) -> tuple[str, ...]:
+        """Call chain explaining why ``lock`` is held entering ``qualname``."""
+        chain = [qualname]
+        seen = {qualname}
+        current = qualname
+        while True:
+            origin = self._provenance.get((current, lock))
+            if origin is None:
+                break
+            caller = origin[0]
+            if caller in seen:
+                break
+            chain.append(caller)
+            seen.add(caller)
+            current = caller
+        return tuple(reversed(chain))
+
+    def _build_order_graph(self) -> LockOrderGraph:
+        graph = LockOrderGraph()
+        for qualname in sorted(self.locks):
+            facts = self.locks[qualname]
+            entry = self.entry_may[qualname]
+            for acquisition in facts.acquisitions:
+                lexical = acquisition.held | facts.contract
+                for src in sorted(lexical):
+                    if src == acquisition.lock:
+                        continue
+                    graph.add(
+                        Edge(
+                            src=src,
+                            dst=acquisition.lock,
+                            path=facts.path,
+                            line=acquisition.line,
+                            chain=(qualname,),
+                        )
+                    )
+                for src in sorted(entry - lexical):
+                    if src == acquisition.lock:
+                        continue
+                    graph.add(
+                        Edge(
+                            src=src,
+                            dst=acquisition.lock,
+                            path=facts.path,
+                            line=acquisition.line,
+                            chain=self._chain_to(qualname, src),
+                        )
+                    )
+        return graph
+
+
+def analyze(project: ProjectContext) -> LocksetAnalysis:
+    """The memoised analysis for one lint run."""
+
+    def build(ctx: ProjectContext) -> LocksetAnalysis:
+        return LocksetAnalysis(CallGraph(ctx.files))
+
+    return project.memo("locksets", build)  # type: ignore[return-value]
+
+
+def analyze_paths(
+    paths: "list[str]", root: str | None = None
+) -> LocksetAnalysis:
+    """Standalone entry: build the analysis straight from disk paths.
+
+    Used by the CLI ``--lock-graph`` mode and the lockwatch
+    cross-check script.
+    """
+    from pathlib import Path
+
+    from repro.analysis.engine import (
+        FileContext,
+        iter_python_files,
+    )
+
+    anchor = Path(root) if root is not None else Path.cwd()
+    contexts = []
+    for file_path in iter_python_files(paths):
+        try:
+            virtual = (
+                file_path.resolve()
+                .relative_to(anchor.resolve())
+                .as_posix()
+            )
+        except ValueError:
+            virtual = file_path.as_posix()
+        source = file_path.read_text(encoding="utf-8")
+        try:
+            tree = ast.parse(source)
+        except SyntaxError:
+            continue
+        contexts.append(FileContext(virtual, source, tree))
+    return LocksetAnalysis(CallGraph(contexts))
+
+
+# -- the rules ---------------------------------------------------------------
+
+
+@register
+class LockOrderInversionRule(ProjectRule):
+    """R9 — a cycle in the global lock-order graph is a deadlock."""
+
+    id = "R9"
+    title = (
+        "lock-order inversion: the global lock-order graph has a cycle"
+    )
+
+    def check_project(
+        self, project: ProjectContext
+    ) -> Iterator[Violation]:
+        analysis = analyze(project)
+        for cycle in analysis.order.cycles():
+            edges = [
+                analysis.order.edges[
+                    (cycle[i], cycle[(i + 1) % len(cycle)])
+                ]
+                for i in range(len(cycle))
+            ]
+            anchor = edges[0]
+            loop = " -> ".join(cycle + [cycle[0]])
+            witnesses = "; ".join(
+                f"{edge.src} -> {edge.dst} via {edge.witness()}"
+                for edge in edges
+            )
+            yield Violation(
+                path=anchor.path,
+                line=anchor.line,
+                col=0,
+                rule_id=self.id,
+                message=(
+                    f"lock-order inversion {loop}: acquiring these "
+                    f"locks in inconsistent order can deadlock "
+                    f"({witnesses})"
+                ),
+            )
+
+
+@register
+class BlockingUnderLockRule(ProjectRule):
+    """R10 — don't hold a lock across blocking I/O or sleeps."""
+
+    id = "R10"
+    title = (
+        "blocking call (I/O, sleep, subprocess, import) reached while "
+        "holding a lock"
+    )
+
+    def check_project(
+        self, project: ProjectContext
+    ) -> Iterator[Violation]:
+        analysis = analyze(project)
+        for qualname in sorted(analysis.locks):
+            facts = analysis.locks[qualname]
+            for call in facts.calls:
+                if not call.held:
+                    continue  # Lexically held only: see module docstring.
+                held = ", ".join(sorted(call.held))
+                callee = call.site.callee
+                if callee is not None and callee in analysis.blocking:
+                    sink, chain = analysis.blocking[callee]
+                    via = " -> ".join((qualname,) + chain)
+                    yield Violation(
+                        path=facts.path,
+                        line=call.site.line,
+                        col=call.site.col,
+                        rule_id=self.id,
+                        message=(
+                            f"call to {callee}() while holding {held} "
+                            f"reaches blocking {sink} (via {via}); "
+                            f"release the lock before blocking"
+                        ),
+                    )
+                elif callee is None and _is_blocking_desc(call.site.desc):
+                    yield Violation(
+                        path=facts.path,
+                        line=call.site.line,
+                        col=call.site.col,
+                        rule_id=self.id,
+                        message=(
+                            f"blocking {call.site.desc}() while holding "
+                            f"{held}; release the lock first"
+                        ),
+                    )
+            for stmt in facts.blocking_stmts:
+                held = ", ".join(sorted(stmt.held))
+                yield Violation(
+                    path=facts.path,
+                    line=stmt.line,
+                    col=stmt.col,
+                    rule_id=self.id,
+                    message=(
+                        f"{stmt.desc} while holding {held}; import "
+                        f"before taking the lock"
+                    ),
+                )
+
+
+@register
+class LockedContractRule(ProjectRule):
+    """R11 — ``*_locked`` callees need the owner's lock demonstrably held."""
+
+    id = "R11"
+    title = (
+        "call to a *_locked function without the owning object's lock "
+        "in the held set"
+    )
+
+    def check_project(
+        self, project: ProjectContext
+    ) -> Iterator[Violation]:
+        analysis = analyze(project)
+        graph = analysis.graph
+        for qualname in sorted(analysis.locks):
+            facts = analysis.locks[qualname]
+            function = graph.functions[qualname]
+            for call in facts.calls:
+                owner = self._locked_owner(call.site, function.class_name)
+                if owner is None:
+                    continue
+                owner_locks: set[str] = set()
+                for info in graph.class_and_bases(owner):
+                    owner_locks.update(
+                        f"{info.name}.{attr}" for attr in info.lock_attrs
+                    )
+                if not owner_locks:
+                    continue  # Owner has no locks; nothing to check.
+                held = (
+                    call.held
+                    | facts.contract
+                    | analysis.entry_must[qualname]
+                )
+                if held & owner_locks:
+                    continue
+                wanted = ", ".join(sorted(owner_locks))
+                yield Violation(
+                    path=facts.path,
+                    line=call.site.line,
+                    col=call.site.col,
+                    rule_id=self.id,
+                    message=(
+                        f"{call.site.desc}() follows the *_locked "
+                        f"contract of {owner} but no {wanted} is "
+                        f"provably held at this call"
+                    ),
+                )
+
+    @staticmethod
+    def _locked_owner(
+        site: CallSite, caller_class: str | None
+    ) -> str | None:
+        """Owning class of a ``*_locked`` callee, if determinable."""
+        func = site.node.func
+        name = (
+            func.attr
+            if isinstance(func, ast.Attribute)
+            else func.id
+            if isinstance(func, ast.Name)
+            else ""
+        )
+        if not name.endswith("_locked"):
+            return None
+        if site.callee_class is not None:
+            return site.callee_class
+        if isinstance(func, ast.Attribute) and is_self_attr(func):
+            return caller_class
+        return None

@@ -38,6 +38,7 @@ from dataclasses import dataclass
 
 from repro.errors import QueryError
 from repro.geometry.primitives import Box3
+from repro.obs.lockwatch import watched_lock
 from repro.storage.record import DMNodeColumns
 
 __all__ = [
@@ -109,7 +110,7 @@ class SemanticCache:
             )
         self.max_bytes = max_bytes
         self.prefetch_e = prefetch_e
-        self._lock = threading.Lock()
+        self._lock = watched_lock("SemanticCache._lock")
         self._entries: OrderedDict[tuple, _Entry] = OrderedDict()
         self._bytes = 0
         self._hits = 0
@@ -286,7 +287,7 @@ class ClusterCache:
         if max_bytes <= 0:
             raise QueryError(f"max_bytes must be positive, got {max_bytes}")
         self.max_bytes = max_bytes
-        self._lock = threading.Lock()
+        self._lock = watched_lock("ClusterCache._lock")
         self._entries: OrderedDict[int, DMNodeColumns] = OrderedDict()
         self._sizes: dict[int, int] = {}
         self._bytes = 0

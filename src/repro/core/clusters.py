@@ -44,6 +44,7 @@ from __future__ import annotations
 import json
 import struct
 from dataclasses import dataclass
+from pathlib import Path
 from typing import TYPE_CHECKING, Callable, Sequence
 
 import numpy as np
@@ -202,7 +203,7 @@ class ClusterMeta:
         )
 
 
-def cluster_directory_path(database: Database, prefix: str):
+def cluster_directory_path(database: Database, prefix: str) -> Path:
     """Path of the cluster directory sidecar for ``prefix``."""
     return database.path / f"{prefix}_{_DIRECTORY_SUFFIX}"
 

@@ -112,6 +112,7 @@ from repro.errors import (
 from repro.geometry.plane import QueryPlane
 from repro.geometry.primitives import Box3, Rect
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.lockwatch import watched_lock
 from repro.storage.integrity import PageQuarantine
 from repro.storage.record import (
     DMNodeColumns,
@@ -285,7 +286,7 @@ class TokenBucket:
             raise QueryError(f"token rate must be > 0, got {rate}")
         if burst <= 0:
             raise QueryError(f"token burst must be > 0, got {burst}")
-        self._lock = threading.Lock()
+        self._lock = watched_lock("TokenBucket._lock")
         self._rate = rate
         self._burst = burst
         self._clock = clock
@@ -417,7 +418,7 @@ class CostGovernor:
             budget if tenant_burst is None else tenant_burst
         )
         self._clock = clock
-        self._lock = threading.Lock()
+        self._lock = watched_lock("CostGovernor._lock")
         self._inflight = 0.0
         self._buckets: dict[str, TokenBucket] = {}
 
@@ -628,12 +629,12 @@ class QueryEngine:
         # Base-mesh snapshot for the shed path, fetched once on first
         # shed (double-checked under _base_lock: submit() is called
         # from arbitrary client threads).
-        self._base_lock = threading.Lock()
+        self._base_lock = watched_lock("QueryEngine._base_lock")
         self._base_columns: DMNodeColumns | None = None
         # Delta-session manager, created lazily on first use (DCL
         # under _session_lock: sessions() may race from client
         # threads; the import is local to avoid a module cycle).
-        self._session_lock = threading.Lock()
+        self._session_lock = watched_lock("QueryEngine._session_lock")
         self._session_manager: "SessionManager | None" = None
         # Cache entries are columnar pages, so the cache implies the
         # columnar fetch path even when ``vectorized`` is off.
@@ -687,10 +688,12 @@ class QueryEngine:
         admission control; see :mod:`repro.core.streaming`.
         """
         if self._session_manager is None:
+            # Import before taking the lock: a first-touch import does
+            # file I/O under the interpreter import lock (reprolint R10).
+            from repro.core.streaming import SessionManager
+
             with self._session_lock:
                 if self._session_manager is None:
-                    from repro.core.streaming import SessionManager
-
                     self._session_manager = SessionManager(self)
         return self._session_manager
 
@@ -880,28 +883,30 @@ class QueryEngine:
     def _base_snapshot(self) -> DMNodeColumns | None:
         """The base mesh as one cached columnar page set.
 
-        Fetched once (double-checked locking: submit() races from
-        many client threads) and shared read-only afterwards — root
-        records are immutable for the life of the store.
+        Fetched once (submit() races from many client threads) and
+        shared read-only afterwards — root records are immutable for
+        the life of the store.  The page reads run *outside*
+        ``_base_lock``: holding a lock across buffer-pool I/O stalls
+        every other shedding thread and orders ``_base_lock`` against
+        the whole storage lock hierarchy (reprolint R10).  Racing
+        threads may fetch twice; publication under the lock with a
+        re-check keeps exactly one winner.
         """
         if self._base_columns is None:
+            store = self._store
+            space = store.rtree.data_space
+            if space is None:
+                return None
+            probe = UniformRequest(space.rect, store.max_lod)
+            try:
+                rids = store.rtree.search(probe.query_box(store.e_cap))
+                columns = store.read_records_columnar(rids)
+            except Exception:
+                # Leave unset: the next shed retries the fetch.
+                return None
             with self._base_lock:
                 if self._base_columns is None:
-                    store = self._store
-                    space = store.rtree.data_space
-                    if space is None:
-                        return None
-                    probe = UniformRequest(space.rect, store.max_lod)
-                    try:
-                        rids = store.rtree.search(
-                            probe.query_box(store.e_cap)
-                        )
-                        self._base_columns = store.read_records_columnar(
-                            rids
-                        )
-                    except Exception:
-                        # Leave unset: the next shed retries the fetch.
-                        return None
+                    self._base_columns = columns
         return self._base_columns
 
     def run_batch(

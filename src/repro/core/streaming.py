@@ -41,6 +41,7 @@ from repro.core.wire import (
     encode_frame,
 )
 from repro.errors import QueryError, SessionError
+from repro.obs.lockwatch import watched_lock
 from repro.geometry.primitives import Rect
 from repro.storage.record import DMNodeRecord, dm_record_size
 
@@ -333,7 +334,7 @@ class SessionManager:
 
     def __init__(self, engine: "QueryEngine") -> None:
         self._engine = engine
-        self._lock = threading.Lock()
+        self._lock = watched_lock("SessionManager._lock")
         self._sessions: dict[str, EngineSession] = {}
         self._opened = 0
 

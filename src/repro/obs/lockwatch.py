@@ -1,0 +1,253 @@
+"""Runtime lock-order witness: instrumented locks behind an env gate.
+
+The static lockset analysis (:mod:`repro.analysis.locksets`) infers a
+lock-order graph from source; this module measures the *actual* one.
+With ``REPRO_LOCKWATCH=1`` set, :func:`watched_lock` returns a
+:class:`WatchedLock` that records, per thread, every ordered pair
+``(held, acquired)`` observed at acquisition time.  Without the env
+var it returns a plain ``threading.Lock`` — zero overhead in
+production, and construction sites stay one-liners:
+
+    self._latch = watched_lock("BufferPool._latch")
+
+Lock names follow the static analysis's convention exactly
+(``ClassName._attr``; one name for a whole stripe list), so the
+dynamic graph is directly comparable: CI runs the stress suites under
+``REPRO_LOCKWATCH=1`` and asserts the observed graph is **acyclic**
+and a **subgraph** of the static one (``scripts/lockwatch_check.py``).
+A dynamic edge missing from the static graph means the call-graph
+inference went blind somewhere — that is a bug in the analysis, not
+in the code under test.
+
+With ``REPRO_LOCKWATCH_OUT=<path>`` also set, the recorder merges its
+edge counts into that JSON file at interpreter exit, so multi-process
+suites accumulate into one graph.
+"""
+
+from __future__ import annotations
+
+import atexit
+import json
+import os
+import threading
+from typing import Iterable, Union
+
+__all__ = [
+    "ENV_FLAG",
+    "ENV_OUT",
+    "LockWatch",
+    "WatchedLock",
+    "enabled",
+    "find_cycle",
+    "reset",
+    "watch",
+    "watched_lock",
+]
+
+ENV_FLAG = "REPRO_LOCKWATCH"
+ENV_OUT = "REPRO_LOCKWATCH_OUT"
+
+
+def enabled() -> bool:
+    """True when lock instrumentation is switched on via the env."""
+    return os.environ.get(ENV_FLAG, "") not in ("", "0")
+
+
+class LockWatch:
+    """Accumulates observed ``(held, acquired)`` lock-order pairs."""
+
+    def __init__(self) -> None:
+        self._guard = threading.Lock()
+        self._edges: dict[tuple[str, str], int] = {}
+        self._locks: set[str] = set()
+        self._tls = threading.local()
+
+    def _stack(self) -> list[str]:
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = []
+            self._tls.stack = stack
+        return stack
+
+    def note_acquire(self, name: str) -> None:
+        stack = self._stack()
+        pairs = [
+            (held, name) for held in stack if held != name
+        ]
+        stack.append(name)
+        with self._guard:
+            self._locks.add(name)
+            for pair in pairs:
+                self._edges[pair] = self._edges.get(pair, 0) + 1
+
+    def note_release(self, name: str) -> None:
+        stack = self._stack()
+        # Remove the innermost occurrence; tolerate foreign releases.
+        for position in range(len(stack) - 1, -1, -1):
+            if stack[position] == name:
+                del stack[position]
+                break
+
+    def edges(self) -> dict[tuple[str, str], int]:
+        with self._guard:
+            return dict(self._edges)
+
+    def locks(self) -> set[str]:
+        with self._guard:
+            return set(self._locks)
+
+    def as_json(self) -> dict[str, object]:
+        with self._guard:
+            return {
+                "version": 1,
+                "locks": sorted(self._locks),
+                "edges": [
+                    [src, dst, count]
+                    for (src, dst), count in sorted(self._edges.items())
+                ],
+            }
+
+    def dump(self, path: str) -> None:
+        """Merge this recorder's graph into ``path`` (atomic write).
+
+        Multiple processes dumping to the same file accumulate: edge
+        counts add, lock sets union.  A missing or corrupt existing
+        file is treated as empty rather than fatal.
+        """
+        data = self.as_json()
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                existing = json.load(handle)
+        except (OSError, ValueError):
+            existing = None
+        if isinstance(existing, dict):
+            locks = set(data["locks"]) | set(existing.get("locks", []))
+            merged: dict[tuple[str, str], int] = {
+                (src, dst): count for src, dst, count in data["edges"]
+            }
+            for entry in existing.get("edges", []):
+                if not (isinstance(entry, list) and len(entry) == 3):
+                    continue
+                src, dst, count = entry
+                merged[(src, dst)] = merged.get((src, dst), 0) + int(count)
+            data = {
+                "version": 1,
+                "locks": sorted(locks),
+                "edges": [
+                    [src, dst, count]
+                    for (src, dst), count in sorted(merged.items())
+                ],
+            }
+        temp = f"{path}.tmp.{os.getpid()}"
+        with open(temp, "w", encoding="utf-8") as handle:
+            json.dump(data, handle, indent=1, sort_keys=True)
+        os.replace(temp, path)
+
+
+class WatchedLock:
+    """A ``threading.Lock`` that reports its acquisition order."""
+
+    __slots__ = ("_inner", "_watchman", "name")
+
+    def __init__(self, name: str, watchman: LockWatch) -> None:
+        self._inner = threading.Lock()
+        self._watchman = watchman
+        self.name = name
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        # The pair is recorded *after* a successful acquire so a
+        # timed-out attempt leaves no trace.
+        # reprolint: disable=R6 forwards to the inner lock; pairing is the caller's duty
+        acquired = self._inner.acquire(blocking, timeout)
+        if acquired:
+            self._watchman.note_acquire(self.name)
+        return acquired
+
+    def release(self) -> None:
+        self._watchman.note_release(self.name)
+        self._inner.release()
+
+    def locked(self) -> bool:
+        return self._inner.locked()
+
+    def __enter__(self) -> bool:
+        # reprolint: disable=R6 context-manager protocol: __exit__ is the paired release
+        return self.acquire()
+
+    def __exit__(self, *exc: object) -> None:
+        self.release()
+
+
+_WATCH: LockWatch | None = None
+_WATCH_GUARD = threading.Lock()
+
+
+def watch() -> LockWatch:
+    """The process-wide recorder (created on first use).
+
+    Registers the atexit merge-dump when ``REPRO_LOCKWATCH_OUT``
+    names a destination file.
+    """
+    global _WATCH
+    if _WATCH is None:
+        with _WATCH_GUARD:
+            if _WATCH is None:
+                recorder = LockWatch()
+                out = os.environ.get(ENV_OUT, "")
+                if out:
+                    atexit.register(recorder.dump, out)
+                _WATCH = recorder
+    return _WATCH
+
+
+def reset() -> None:
+    """Drop the recorder (tests only; no atexit deregistration)."""
+    global _WATCH
+    with _WATCH_GUARD:
+        _WATCH = None
+
+
+def watched_lock(name: str) -> Union[threading.Lock, WatchedLock]:
+    """A lock named for the static analysis's ``ClassName._attr``.
+
+    Plain ``threading.Lock`` unless ``REPRO_LOCKWATCH=1``: the gate is
+    evaluated per construction, so a test can flip the env var and
+    build an instrumented engine in-process.
+    """
+    if not enabled():
+        return threading.Lock()
+    return WatchedLock(name, watch())
+
+
+def find_cycle(edges: Iterable[tuple[str, str]]) -> list[str] | None:
+    """A lock cycle in ``edges`` (as a node list), or None if acyclic."""
+    successors: dict[str, list[str]] = {}
+    for src, dst in edges:
+        successors.setdefault(src, []).append(dst)
+    for adjacency in successors.values():
+        adjacency.sort()
+
+    visiting: dict[str, int] = {}  # 0 = in progress, 1 = done.
+    path: list[str] = []
+
+    def visit(node: str) -> list[str] | None:
+        visiting[node] = 0
+        path.append(node)
+        for nxt in successors.get(node, []):
+            state = visiting.get(nxt)
+            if state == 0:
+                return path[path.index(nxt) :]
+            if state is None:
+                cycle = visit(nxt)
+                if cycle is not None:
+                    return cycle
+        path.pop()
+        visiting[node] = 1
+        return None
+
+    for root in sorted(successors):
+        if root not in visiting:
+            cycle = visit(root)
+            if cycle is not None:
+                return cycle
+    return None

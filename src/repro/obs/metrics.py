@@ -16,6 +16,8 @@ raise from the hot path; reading them returns immutable snapshots.
 from __future__ import annotations
 
 import threading
+
+from repro.obs.lockwatch import watched_lock
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass
@@ -150,7 +152,7 @@ class Counter:
     __slots__ = ("_lock", "_value")
 
     def __init__(self) -> None:
-        self._lock = threading.Lock()
+        self._lock = watched_lock("Counter._lock")
         self._value = 0
 
     def inc(self, n: int = 1) -> None:
@@ -179,7 +181,7 @@ class Gauge:
     __slots__ = ("_lock", "_value")
 
     def __init__(self) -> None:
-        self._lock = threading.Lock()
+        self._lock = watched_lock("Gauge._lock")
         self._value = 0.0
 
     def set(self, value: float) -> None:
@@ -240,7 +242,7 @@ class Histogram:
                  "_samples", "_total")
 
     def __init__(self, max_samples: int = DEFAULT_MAX_SAMPLES) -> None:
-        self._lock = threading.Lock()
+        self._lock = watched_lock("Histogram._lock")
         self._max_samples = max_samples
         self._count = 0
         self._total = 0.0
@@ -326,7 +328,7 @@ class MetricsRegistry:
     """
 
     def __init__(self) -> None:
-        self._lock = threading.Lock()
+        self._lock = watched_lock("MetricsRegistry._lock")
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}

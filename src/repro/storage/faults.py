@@ -43,6 +43,7 @@ import threading
 import time
 
 from repro.errors import StorageError, TransientIOError
+from repro.obs.lockwatch import watched_lock
 from repro.storage.page import verify_page
 
 __all__ = ["CORRUPTION_KINDS", "FaultInjector", "corrupt_buffer"]
@@ -143,7 +144,7 @@ class FaultInjector:
         self.max_errors = max_errors
         self.max_corruptions = max_corruptions
         self._seed = seed
-        self._lock = threading.Lock()
+        self._lock = watched_lock("FaultInjector._lock")
         self._rng = random.Random(seed)
         self.calls = 0
         self.errors_injected = 0

@@ -42,6 +42,7 @@ from pathlib import Path
 from typing import TYPE_CHECKING
 
 from repro.errors import PageCorruptionError, StorageError
+from repro.obs.lockwatch import watched_lock
 from repro.storage.faults import CORRUPTION_KINDS, corrupt_buffer
 from repro.storage.page import DEFAULT_PAGE_SIZE, verify_page
 from repro.storage.wal import WriteAheadLog
@@ -90,7 +91,7 @@ class PageQuarantine:
                 f"quarantine capacity must be >= 1, got {capacity}"
             )
         self._capacity = capacity
-        self._lock = threading.Lock()
+        self._lock = watched_lock("PageQuarantine._lock")
         self._pages: OrderedDict[tuple[str, int], None] = OrderedDict()
 
     def add(self, segment: str, page: int) -> bool:

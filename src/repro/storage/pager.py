@@ -25,6 +25,7 @@ from pathlib import Path
 from typing import TYPE_CHECKING
 
 from repro.errors import PageCorruptionError, StorageError
+from repro.obs.lockwatch import watched_lock
 from repro.storage.page import (
     CHECKSUM_SIZE,
     DEFAULT_PAGE_SIZE,
@@ -35,6 +36,8 @@ from repro.storage.stats import DiskStats
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.obs.metrics import MetricsRegistry
+    from repro.storage.faults import FaultInjector
+    from repro.storage.wal import WriteAheadLog
 
 __all__ = ["Pager"]
 
@@ -90,12 +93,12 @@ class Pager:
             raise
         self._n_pages = size // page_size
         self._closed = False
-        self._alloc_lock = threading.Lock()
-        self._crc_lock = threading.Lock()
+        self._alloc_lock = watched_lock("Pager._alloc_lock")
+        self._crc_lock = watched_lock("Pager._crc_lock")
         self._crc_failures = 0
         #: Optional :class:`repro.storage.wal.WriteAheadLog`; when set,
         #: every in-place page write is logged first.
-        self.wal = None
+        self.wal: "WriteAheadLog | None" = None
         #: Simulated per-read device latency in seconds (0 = off).
         #: ``pread`` on a warm OS page cache takes microseconds, which
         #: makes wall-clock benchmarks of a *disk-resident* design
@@ -111,7 +114,7 @@ class Pager:
         #: the page bytes in flight.  A failed read is *not* counted
         #: as a physical read — the page never arrived, matching how a
         #: real device error behaves.
-        self.fault_injector = None
+        self.fault_injector: "FaultInjector | None" = None
         #: Optional :class:`repro.obs.metrics.MetricsRegistry`; when
         #: set, checksum mismatches increment ``storage.crc_failures``.
         self.metrics: "MetricsRegistry | None" = None
@@ -180,6 +183,7 @@ class Pager:
             if self.checksums:
                 seal_page(page)
             try:
+                # reprolint: disable=R10 zero-fill must land before the page is visible
                 os.pwrite(self._fd, bytes(page), page_no * self.page_size)
             except OSError as exc:
                 raise StorageError(

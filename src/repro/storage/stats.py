@@ -18,7 +18,9 @@ from __future__ import annotations
 import threading
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Iterator
+from typing import Callable, Iterator
+
+from repro.obs.lockwatch import watched_lock
 
 __all__ = ["AccessProbe", "DiskStats", "StatsSnapshot"]
 
@@ -109,7 +111,7 @@ class DiskStats:
     """
 
     def __init__(self) -> None:
-        self._lock = threading.Lock()
+        self._lock = watched_lock("DiskStats._lock")
         self._local = threading.local()
         self._physical_reads = 0
         self._physical_writes = 0
@@ -117,7 +119,7 @@ class DiskStats:
         self._by_segment: dict[str, dict[str, int]] = {}
         #: Optional callable ``(segment, page_no)`` invoked on every
         #: physical read — used by :class:`repro.storage.trace.IOTracer`.
-        self.trace_hook = None
+        self.trace_hook: Callable[[str, int], None] | None = None
 
     # -- recording (called by the pager / buffer pool) -------------------
 

@@ -1,0 +1,30 @@
+# reprolint-fixture: path=src/repro/core/demo_blocking.py
+# Three ways to stall every peer queued on the same lock: a direct
+# time.sleep under the lock, a call whose *callee* (one hop down)
+# opens a file, and a first-touch import inside the critical section
+# (module loading does file I/O under the interpreter import lock).
+import threading
+import time
+
+
+class Throttle:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+
+    def pace(self) -> None:
+        with self._lock:
+            time.sleep(0.01)  # [R10]
+
+    def refresh(self) -> None:
+        with self._lock:
+            self._reload()  # [R10]
+
+    def render(self) -> str:
+        with self._lock:
+            import json  # [R10]
+
+            return json.dumps({"paced": True})
+
+    def _reload(self) -> str:
+        with open("config.json", "r", encoding="utf-8") as handle:
+            return handle.read()

@@ -1,0 +1,33 @@
+# reprolint-fixture: path=src/repro/core/demo_blocking_fixed.py
+# The fixed form of R10_blocking_bad: blocking work moves out of the
+# critical section.  The lock now brackets only in-memory state — the
+# sleep happens after release, the file read happens before acquire,
+# and the import sits at module scope where it belongs.
+import json
+import threading
+import time
+
+
+class Throttle:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._pause_s = 0.0
+
+    def pace(self) -> None:
+        with self._lock:
+            pause_s = self._pause_s
+        time.sleep(pause_s)
+
+    def refresh(self) -> None:
+        config = self._reload()
+        with self._lock:
+            self._pause_s = float(len(config)) * 0.001
+
+    def render(self) -> str:
+        with self._lock:
+            paced = self._pause_s > 0
+        return json.dumps({"paced": paced})
+
+    def _reload(self) -> str:
+        with open("config.json", "r", encoding="utf-8") as handle:
+            return handle.read()

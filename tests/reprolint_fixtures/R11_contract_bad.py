@@ -1,0 +1,21 @@
+# reprolint-fixture: path=src/repro/core/demo_contract.py
+# The *_locked suffix is a caller-holds-the-lock contract.  R1 checks
+# it within one function; R11 checks it across the call graph: sneak()
+# reaches _bump_locked with no Ledger._lock provably held.
+import threading
+
+
+class Ledger:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._total = 0
+
+    def add(self, n: int) -> None:
+        with self._lock:
+            self._bump_locked(n)
+
+    def sneak(self, n: int) -> None:
+        self._bump_locked(n)  # [R11]
+
+    def _bump_locked(self, n: int) -> None:
+        self._total += n

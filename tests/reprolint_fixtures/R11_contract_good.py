@@ -1,0 +1,36 @@
+# reprolint-fixture: path=src/repro/core/demo_contract_fixed.py
+# The fixed forms: a self-call under the owner's lock, a *_locked
+# helper calling a sibling *_locked helper (the contract seeds the
+# held set), and a cross-object call that takes the owner's lock
+# first — resolved through the constructor parameter's type.
+import threading
+
+
+class Ledger:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._total = 0
+
+    def add(self, n: int) -> None:
+        with self._lock:
+            self._bump_locked(n)
+
+    def add_twice(self, n: int) -> None:
+        with self._lock:
+            self._double_bump_locked(n)
+
+    def _double_bump_locked(self, n: int) -> None:
+        self._bump_locked(n)
+        self._bump_locked(n)
+
+    def _bump_locked(self, n: int) -> None:
+        self._total += n
+
+
+class Auditor:
+    def __init__(self, ledger: Ledger) -> None:
+        self._ledger = ledger
+
+    def charge(self, n: int) -> None:
+        with self._ledger._lock:
+            self._ledger._bump_locked(n)

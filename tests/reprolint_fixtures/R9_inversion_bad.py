@@ -1,0 +1,37 @@
+# reprolint-fixture: path=src/repro/core/demo_inversion.py
+# Two classes take each other's locks in opposite orders: Journal.append
+# holds Journal._lock while reaching Index.touch (which takes
+# Index._lock), and Index.rebuild holds Index._lock while reaching
+# Journal.touch (which takes Journal._lock).  The cycle is only visible
+# interprocedurally — each function on its own is innocent — and the
+# cross-object edges need self-attribute type inference from the
+# constructor parameter annotations.
+import threading
+
+
+class Journal:
+    def __init__(self, index: "Index") -> None:
+        self._lock = threading.Lock()
+        self._index = index
+
+    def append(self) -> None:
+        with self._lock:
+            self._index.touch()
+
+    def touch(self) -> None:
+        with self._lock:  # [R9]
+            pass
+
+
+class Index:
+    def __init__(self, journal: Journal) -> None:
+        self._lock = threading.Lock()
+        self._journal = journal
+
+    def touch(self) -> None:
+        with self._lock:
+            pass
+
+    def rebuild(self) -> None:
+        with self._lock:
+            self._journal.touch()

@@ -1,0 +1,33 @@
+# reprolint-fixture: path=src/repro/core/demo_inversion_fixed.py
+# The fixed form of R9_inversion_bad: every path acquires Journal._lock
+# before Index._lock (Index.rebuild asks the journal to drive the
+# rebuild, so the cross-lock edge keeps the global Journal -> Index
+# order).  The lock-order graph is acyclic and R9 stays silent.
+import threading
+
+
+class Journal:
+    def __init__(self, index: "Index") -> None:
+        self._lock = threading.Lock()
+        self._index = index
+
+    def append(self) -> None:
+        with self._lock:
+            self._index.touch()
+
+    def rebuild_index(self) -> None:
+        with self._lock:
+            self._index.touch()
+
+
+class Index:
+    def __init__(self, journal: Journal) -> None:
+        self._lock = threading.Lock()
+        self._journal = journal
+
+    def touch(self) -> None:
+        with self._lock:
+            pass
+
+    def rebuild(self) -> None:
+        self._journal.rebuild_index()

@@ -11,6 +11,7 @@ positive on the fixed idiom fails loudly.
 
 from __future__ import annotations
 
+import json
 import re
 import subprocess
 import sys
@@ -95,6 +96,9 @@ def test_rule_ids_are_stable() -> None:
         "R6",
         "R7",
         "R8",
+        "R9",
+        "R10",
+        "R11",
     ]
 
 
@@ -226,5 +230,77 @@ def test_cli_clean_file_exits_zero(tmp_path: Path) -> None:
 def test_cli_list_rules() -> None:
     result = _run_cli("--list-rules")
     assert result.returncode == 0
-    for rule_id in ("R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8"):
+    for rule_id in (
+        "R1",
+        "R2",
+        "R3",
+        "R4",
+        "R5",
+        "R6",
+        "R7",
+        "R8",
+        "R9",
+        "R10",
+        "R11",
+    ):
         assert rule_id in result.stdout
+
+
+def test_cli_json_and_sarif_reports(tmp_path: Path) -> None:
+    bad = tmp_path / "src" / "repro" / "demo.py"
+    bad.parent.mkdir(parents=True)
+    bad.write_text("def f():\n    assert True\n", encoding="utf-8")
+    json_out = tmp_path / "findings.json"
+    sarif_out = tmp_path / "findings.sarif"
+    result = _run_cli(
+        str(bad), "--json", str(json_out), "--sarif", str(sarif_out)
+    )
+    assert result.returncode == 1
+
+    payload = json.loads(json_out.read_text(encoding="utf-8"))
+    assert payload["version"] == 1
+    assert [f["rule"] for f in payload["violations"]] == ["R4"]
+    assert payload["violations"][0]["line"] == 2
+    assert payload["counts"] == {"R4": 1}
+
+    sarif = json.loads(sarif_out.read_text(encoding="utf-8"))
+    assert sarif["version"] == "2.1.0"
+    run = sarif["runs"][0]
+    assert run["tool"]["driver"]["name"] == "reprolint"
+    assert [r["ruleId"] for r in run["results"]] == ["R4"]
+    region = run["results"][0]["locations"][0]["physicalLocation"]
+    assert region["region"]["startLine"] == 2
+
+
+def test_cli_lock_graph_dump(tmp_path: Path) -> None:
+    source = (
+        "import threading\n"
+        "\n"
+        "\n"
+        "class Outer:\n"
+        "    def __init__(self, inner: 'Inner') -> None:\n"
+        "        self._lock = threading.Lock()\n"
+        "        self._inner = inner\n"
+        "\n"
+        "    def poke(self) -> None:\n"
+        "        with self._lock:\n"
+        "            self._inner.poke()\n"
+        "\n"
+        "\n"
+        "class Inner:\n"
+        "    def __init__(self) -> None:\n"
+        "        self._lock = threading.Lock()\n"
+        "\n"
+        "    def poke(self) -> None:\n"
+        "        with self._lock:\n"
+        "            pass\n"
+    )
+    module = tmp_path / "src" / "repro" / "demo.py"
+    module.parent.mkdir(parents=True)
+    module.write_text(source, encoding="utf-8")
+    out = tmp_path / "lockgraph.json"
+    result = _run_cli(str(module), "--lock-graph", str(out))
+    assert result.returncode == 0
+    graph = json.loads(out.read_text(encoding="utf-8"))
+    edges = [(e["src"], e["dst"]) for e in graph["edges"]]
+    assert ("Outer._lock", "Inner._lock") in edges
