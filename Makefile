@@ -6,7 +6,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test test-fast lint lint-repro typecheck ci stress lockwatch perf-smoke slo-smoke session-smoke cluster-smoke bench-slo bench-session bench-cluster fsck bench report examples clean
+.PHONY: install test test-fast lint lint-repro typecheck ci stress lockwatch perf-smoke slo-smoke session-smoke cluster-smoke bench-slo bench-session bench-cluster fsck mutation-drill bench report examples clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -150,6 +150,15 @@ fsck:
 	mv /tmp/repro-fsck-clusters.bak $(FSCK_DB)/dm_clusters.json
 	PYTHONPATH=src $(PYTHON) -m repro fsck $(FSCK_DB)
 	rm -rf $(FSCK_DB)
+
+# Live-mutation robustness gate: rebuild-from-scratch parity across
+# random patch sequences, a kill-anywhere crash pass (every distinct
+# WAL protocol point + a sample of page boundaries, recovery must
+# land on exactly the pre- or post-patch snapshot), and concurrent
+# readers racing live commits (every result must be some committed
+# epoch's exact snapshot).  Mirrors the `mutation-drill` job in CI.
+mutation-drill:
+	PYTHONPATH=src $(PYTHON) scripts/mutation_drill.py
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s

@@ -25,7 +25,14 @@ R8        Registry hygiene: entries added to ``METRIC_NAMES`` /
           ``METRIC_PREFIXES`` follow the ``family.metric`` grammar
           with a family declared in ``METRIC_FAMILIES`` (a misspelt
           family dodges every dashboard that groups by family).
+R12       Epoch snapshot discipline: the engine's swappable
+          ``(store, epoch)`` slot is pinned once per request via
+          ``pinned_snapshot()`` — direct slot access outside the
+          three sanctioned methods can tear across a patch commit.
 ========  ==================================================================
+
+(R9–R11, the interprocedural lock analyses, live in
+:mod:`repro.analysis.locksets`.)
 
 Rules R1/R3 scope themselves to classes that *own* a lock (they assign
 ``threading.Lock()``/``RLock()`` to an attribute), so single-threaded
@@ -633,3 +640,70 @@ class MetricRegistryGrammarRule(Rule):
                 "in repro.obs.metrics.METRIC_FAMILIES"
             )
         return None
+
+
+@register
+class EpochSnapshotRule(Rule):
+    """R12: swapped store state only via the snapshot contract.
+
+    A mutable store commits patches by *swapping* an engine's pinned
+    ``(store, epoch)`` snapshot (``install_store``).  Any code path
+    that dereferences the swap slot ``self._snap`` more than once per
+    request can observe two different epochs in one answer — the
+    classic torn read the epoch design exists to prevent.  The
+    contract: methods pin the snapshot **once** through
+    ``pinned_snapshot()`` (or receive it as an argument) and thread
+    that frozen value through; the slot itself is touched only by
+    ``__init__``, ``pinned_snapshot`` and ``install_store``.
+    """
+
+    id = "R12"
+    title = (
+        "epoch-pinned store slot accessed outside the snapshot contract"
+    )
+
+    _SLOT = "_snap"
+    _ALLOWED = frozenset({"__init__", "pinned_snapshot", "install_store"})
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if not self._owns_slot(node):
+                continue
+            for method in iter_methods(node):
+                if method.name in self._ALLOWED:
+                    continue
+                for access in ast.walk(method):
+                    if (
+                        is_self_attr(access)
+                        and access.attr == self._SLOT  # type: ignore[attr-defined]
+                    ):
+                        yield self.violation(
+                            ctx,
+                            access,
+                            f"{node.name}.{method.name} touches "
+                            f"self.{self._SLOT} directly; pin the "
+                            "snapshot once via pinned_snapshot() and "
+                            "thread it through (only __init__/"
+                            "pinned_snapshot/install_store may access "
+                            "the slot)",
+                        )
+
+    @classmethod
+    def _owns_slot(cls, node: ast.ClassDef) -> bool:
+        """True when the class assigns ``self._snap`` anywhere."""
+        for method in iter_methods(node):
+            for stmt in ast.walk(method):
+                targets: list[ast.expr] = []
+                if isinstance(stmt, ast.Assign):
+                    targets = list(stmt.targets)
+                elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+                    targets = [stmt.target]
+                for target in targets:
+                    if (
+                        is_self_attr(target)
+                        and target.attr == cls._SLOT  # type: ignore[attr-defined]
+                    ):
+                        return True
+        return False

@@ -37,7 +37,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 
 from repro.errors import QueryError
-from repro.geometry.primitives import Box3
+from repro.geometry.primitives import Box3, Rect
 from repro.obs.lockwatch import watched_lock
 from repro.storage.record import DMNodeColumns
 
@@ -54,6 +54,13 @@ __all__ = [
 #: eviction.
 ENTRY_OVERHEAD_BYTES = 512
 
+#: Patch-log capacity of :class:`SemanticCache`.  The log exists to
+#: reject inserts computed against a pre-patch snapshot (see
+#: :meth:`SemanticCache.begin_epoch`); if more epochs than this are
+#: in flight the cache clears itself and resets the log — correct,
+#: merely cold.
+PATCH_LOG_LIMIT = 64
+
 
 @dataclass(frozen=True)
 class CacheStats:
@@ -67,6 +74,7 @@ class CacheStats:
     invalidations: int
     bytes: int
     entries: int
+    region_invalidations: int = 0
 
     @property
     def lookups(self) -> int:
@@ -82,12 +90,15 @@ class CacheStats:
 
 
 class _Entry:
-    __slots__ = ("box", "columns", "nbytes")
+    __slots__ = ("box", "columns", "nbytes", "epoch")
 
-    def __init__(self, box: Box3, columns: DMNodeColumns) -> None:
+    def __init__(
+        self, box: Box3, columns: DMNodeColumns, epoch: int = 0
+    ) -> None:
         self.box = box
         self.columns = columns
         self.nbytes = columns.nbytes + ENTRY_OVERHEAD_BYTES
+        self.epoch = epoch
 
 
 class SemanticCache:
@@ -119,6 +130,11 @@ class SemanticCache:
         self._insertions = 0
         self._evictions = 0
         self._invalidations = 0
+        self._region_invalidations = 0
+        # Committed-patch log: ``(to_epoch, region)`` pairs, newest
+        # last.  Insert-time guard against entries computed from a
+        # pre-patch snapshot (see ``begin_epoch``).
+        self._patch_log: list[tuple[int, Rect | None]] = []
 
     # -- introspection -----------------------------------------------------
 
@@ -144,6 +160,7 @@ class SemanticCache:
                 invalidations=self._invalidations,
                 bytes=self._bytes,
                 entries=len(self._entries),
+                region_invalidations=self._region_invalidations,
             )
 
     # -- the cache protocol ------------------------------------------------
@@ -164,19 +181,33 @@ class SemanticCache:
             return box
         return Box3(box.min_x, box.min_y, min_e, box.max_x, box.max_y, max_e)
 
-    def lookup(self, box: Box3) -> DMNodeColumns | None:
-        """A cached cube that answers ``box``, or ``None``.
+    def lookup(self, box: Box3, epoch: int = 0) -> DMNodeColumns | None:
+        """A cached cube that answers ``box`` at ``epoch``, or ``None``.
 
         Exact-key match first (one dict probe), then a subsumption
         scan for any resident cube containing ``box``.  The serving
         entry is marked most-recently-used.
+
+        **Epoch validity.**  An entry tagged epoch ``E`` serves every
+        reader at epoch ``R >= E``: :meth:`begin_epoch` dropped any
+        entry overlapping a patched region, and :meth:`insert` refuses
+        entries a later patch already overlapped — so anything still
+        resident describes terrain unchanged between ``E`` and ``R``.
+        A reader pinned *behind* the entry (``R < E``) is refused: the
+        entry may include post-patch records the reader's snapshot
+        never held.
         """
         key = box.as_tuple()
         with self._lock:
             entry = self._entries.get(key)
+            if entry is not None and entry.epoch > epoch:
+                entry = None
             if entry is None:
                 for candidate in reversed(self._entries.values()):
-                    if candidate.box.contains_box(box):
+                    if (
+                        candidate.epoch <= epoch
+                        and candidate.box.contains_box(box)
+                    ):
                         entry = candidate
                         self._subsume_hits += 1
                         break
@@ -187,19 +218,34 @@ class SemanticCache:
             self._entries.move_to_end(entry.box.as_tuple())
             return entry.columns
 
-    def insert(self, box: Box3, columns: DMNodeColumns) -> bool:
+    def insert(
+        self, box: Box3, columns: DMNodeColumns, epoch: int = 0
+    ) -> bool:
         """Admit the cube ``box`` with its fetched ``columns``.
 
         Entries subsumed by ``box`` are dropped (the new cube answers
         everything they could); an entry already subsuming ``box``
-        makes the insert a no-op.  Returns True when admitted.
+        makes the insert a no-op.  ``epoch`` is the pinned epoch the
+        cube was fetched at; a cube overlapping a patch committed
+        *after* that epoch is refused (it describes a superseded
+        snapshot — see :meth:`begin_epoch`).  Returns True when
+        admitted.
         """
-        entry = _Entry(box, columns)
+        entry = _Entry(box, columns, epoch)
         if entry.nbytes > self.max_bytes:
             return False
+        rect = box.rect
         with self._lock:
+            for to_epoch, region in self._patch_log:
+                if to_epoch > epoch and (
+                    region is None or region.intersects(rect)
+                ):
+                    return False
             for candidate in self._entries.values():
-                if candidate.box.contains_box(box):
+                if (
+                    candidate.epoch <= epoch
+                    and candidate.box.contains_box(box)
+                ):
                     return False
             doomed = [
                 key
@@ -217,17 +263,58 @@ class SemanticCache:
                 self._evictions += 1
             return True
 
-    def invalidate(self) -> None:
-        """Empty the cache (required after a store rebuild).
+    def invalidate(self, region: Rect | None = None) -> None:
+        """Drop cached cubes — all of them, or one spatial region.
 
-        Cached cubes are snapshots of the store they were fetched
-        from; once the store's records change they can silently serve
-        stale approximations, so rebuild paths must call this.
+        With ``region=None`` the cache empties (required after a full
+        store rebuild).  With a region, only entries whose cube
+        footprint intersects it are dropped: cubes elsewhere describe
+        terrain the mutation never touched and keep serving (the
+        surgical invalidation live patches rely on).
         """
         with self._lock:
-            self._entries.clear()
-            self._bytes = 0
-            self._invalidations += 1
+            if region is None:
+                self._entries.clear()
+                self._bytes = 0
+                self._invalidations += 1
+                return
+            doomed = [
+                key
+                for key, entry in self._entries.items()
+                if entry.box.rect.intersects(region)
+            ]
+            for key in doomed:
+                self._drop_locked(key)
+            self._region_invalidations += 1
+
+    def begin_epoch(self, to_epoch: int, region: Rect | None = None) -> None:
+        """Tell the cache a patch just committed epoch ``to_epoch``.
+
+        Drops exactly the resident cubes overlapping ``region`` and
+        logs ``(to_epoch, region)`` so in-flight inserts computed
+        against the pre-patch snapshot are refused when they land
+        (without the log, a slow reader pinned to the old epoch could
+        re-populate a patched region with stale records *after* the
+        drop).  The log is bounded by :data:`PATCH_LOG_LIMIT`; on
+        overflow the cache clears wholesale and the log resets — the
+        expensive-but-safe degenerate case.
+        """
+        with self._lock:
+            if len(self._patch_log) >= PATCH_LOG_LIMIT:
+                self._entries.clear()
+                self._bytes = 0
+                self._invalidations += 1
+                self._patch_log = [(to_epoch, region)]
+                return
+            self._patch_log.append((to_epoch, region))
+            doomed = [
+                key
+                for key, entry in self._entries.items()
+                if region is None or entry.box.rect.intersects(region)
+            ]
+            for key in doomed:
+                self._drop_locked(key)
+            self._region_invalidations += 1
 
     # -- internals ---------------------------------------------------------
 
@@ -254,6 +341,7 @@ class ClusterCacheStats:
     evictions: int
     bytes: int
     entries: int
+    region_invalidations: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -265,22 +353,28 @@ class ClusterCacheStats:
 
 
 class ClusterCache:
-    """Byte-budgeted LRU of *decoded clusters*, keyed by cluster id.
+    """Byte-budgeted LRU of *decoded clusters*, keyed by
+    ``(epoch, cluster id)``.
 
     The cluster fast path's twin of :class:`SemanticCache`, one level
     lower: instead of query cubes it holds whole decoded clusters
     (:class:`~repro.storage.record.DMNodeColumns`), so a hit skips
     both the run's physical read *and* the columnar decode.  Clusters
-    are immutable for the life of a store — a cluster id fully
-    identifies its content, which is what makes the id a sufficient
-    key: any query selecting the cluster reuses the same decoded page
+    are immutable for the life of a store *epoch* — but unlike node
+    ids, **cluster ids are not stable across epochs** (the Hilbert
+    chunking shifts globally when any tile's node count changes), so
+    the epoch is part of the key: a reader pinned to epoch ``N`` only
+    ever sees clusters decoded from epoch ``N``'s runs.  Any query at
+    that epoch selecting the cluster reuses the same decoded page
     regardless of its LOD interval, a strictly stronger sharing regime
     than cube subsumption (two disjoint cubes touching the same
     cluster share nothing in the cube cache, everything here).
 
-    Like the semantic cache, entries are dropped wholesale by
-    :meth:`invalidate` on store rebuild.  All operations are
-    thread-safe; engine workers hit and fill concurrently.
+    Entries carry the cluster's spatial extent so
+    :meth:`invalidate` can drop exactly the clusters a patch region
+    overlaps — old-epoch clusters elsewhere keep serving readers still
+    pinned behind the patch.  All operations are thread-safe; engine
+    workers hit and fill concurrently.
     """
 
     def __init__(self, max_bytes: int = DEFAULT_CLUSTER_CACHE_BYTES) -> None:
@@ -288,13 +382,17 @@ class ClusterCache:
             raise QueryError(f"max_bytes must be positive, got {max_bytes}")
         self.max_bytes = max_bytes
         self._lock = watched_lock("ClusterCache._lock")
-        self._entries: OrderedDict[int, DMNodeColumns] = OrderedDict()
-        self._sizes: dict[int, int] = {}
+        self._entries: OrderedDict[tuple[int, int], DMNodeColumns] = (
+            OrderedDict()
+        )
+        self._sizes: dict[tuple[int, int], int] = {}
+        self._extents: dict[tuple[int, int], Box3 | None] = {}
         self._bytes = 0
         self._hits = 0
         self._misses = 0
         self._insertions = 0
         self._evictions = 0
+        self._region_invalidations = 0
 
     def __len__(self) -> int:
         with self._lock:
@@ -316,45 +414,81 @@ class ClusterCache:
                 evictions=self._evictions,
                 bytes=self._bytes,
                 entries=len(self._entries),
+                region_invalidations=self._region_invalidations,
             )
 
-    def get(self, cluster_id: int) -> DMNodeColumns | None:
-        """The decoded cluster, or ``None``; hits become MRU."""
+    def get(self, cluster_id: int, epoch: int = 0) -> DMNodeColumns | None:
+        """The decoded cluster of one epoch, or ``None``; hits become
+        MRU."""
+        key = (epoch, cluster_id)
         with self._lock:
-            columns = self._entries.get(cluster_id)
+            columns = self._entries.get(key)
             if columns is None:
                 self._misses += 1
                 return None
             self._hits += 1
-            self._entries.move_to_end(cluster_id)
+            self._entries.move_to_end(key)
             return columns
 
-    def put(self, cluster_id: int, columns: DMNodeColumns) -> bool:
+    def put(
+        self,
+        cluster_id: int,
+        columns: DMNodeColumns,
+        epoch: int = 0,
+        extent: Box3 | None = None,
+    ) -> bool:
         """Admit a decoded cluster; returns True when admitted.
 
-        An entry larger than the whole budget is refused; re-inserting
-        a resident id refreshes recency without double-charging.
+        ``extent`` is the cluster's bounding box from its directory
+        metadata; an entry admitted without one is treated as
+        everywhere by :meth:`invalidate` (dropped by any region).  An
+        entry larger than the whole budget is refused; re-inserting a
+        resident key refreshes recency without double-charging.
         """
         nbytes = columns.nbytes + ENTRY_OVERHEAD_BYTES
         if nbytes > self.max_bytes:
             return False
+        key = (epoch, cluster_id)
         with self._lock:
-            if cluster_id in self._entries:
-                self._entries.move_to_end(cluster_id)
+            if key in self._entries:
+                self._entries.move_to_end(key)
                 return True
-            self._entries[cluster_id] = columns
-            self._sizes[cluster_id] = nbytes
+            self._entries[key] = columns
+            self._sizes[key] = nbytes
+            self._extents[key] = extent
             self._bytes += nbytes
             self._insertions += 1
             while self._bytes > self.max_bytes:
                 oldest, _ = self._entries.popitem(last=False)
                 self._bytes -= self._sizes.pop(oldest)
+                self._extents.pop(oldest, None)
                 self._evictions += 1
             return True
 
-    def invalidate(self) -> None:
-        """Empty the cache (required after a store rebuild)."""
+    def invalidate(self, region: Rect | None = None) -> None:
+        """Drop decoded clusters — all of them, or one spatial region.
+
+        With ``region=None`` the cache empties (full store rebuild).
+        With a region, entries whose extent intersects it — plus any
+        admitted without an extent — are dropped across *all* epochs;
+        dropping is always safe (the next get re-decodes), and
+        non-overlapping clusters of superseded epochs deliberately
+        survive to serve readers still pinned behind a patch.
+        """
         with self._lock:
-            self._entries.clear()
-            self._sizes.clear()
-            self._bytes = 0
+            if region is None:
+                self._entries.clear()
+                self._sizes.clear()
+                self._extents.clear()
+                self._bytes = 0
+                return
+            doomed = []
+            for key in self._entries:
+                extent = self._extents.get(key)
+                if extent is None or extent.rect.intersects(region):
+                    doomed.append(key)
+            for key in doomed:
+                self._entries.pop(key)
+                self._bytes -= self._sizes.pop(key)
+                self._extents.pop(key, None)
+            self._region_invalidations += 1

@@ -114,6 +114,7 @@ class DirectMeshStore:
         e_cap: float,
         build_report: DMBuildReport | None = None,
         clusters: ClusterSet | None = None,
+        prefix: str = "dm",
     ) -> None:
         self.database = database
         self.heap = heap
@@ -122,6 +123,10 @@ class DirectMeshStore:
         self.max_lod = max_lod
         self.e_cap = e_cap
         self.build_report = build_report
+        #: The segment-name prefix the store's data lives under.  For
+        #: live-patched stores this is the *epoch* prefix (e.g.
+        #: ``dm@3``), not the logical one — see :mod:`repro.core.mutate`.
+        self.prefix = prefix
         #: The v3 cluster section (``None`` for stores built before the
         #: cluster layer — the engine then serves via the per-node
         #: oracle path only).
@@ -173,8 +178,41 @@ class DirectMeshStore:
             raise QueryError("progressive mesh must be normalised")
         if connections is None:
             connections = build_connection_lists(pm)
+        return cls.materialize(
+            database,
+            pm.nodes,
+            connections,
+            pm.max_lod(),
+            prefix=prefix,
+            bulk_index=bulk_index,
+            compress_connections=compress_connections,
+            clustered=clustered,
+            cluster_nodes=cluster_nodes,
+        )
 
-        max_lod = pm.max_lod()
+    @classmethod
+    def materialize(
+        cls,
+        database: Database,
+        nodes: list,
+        connections: dict[int, list[int]],
+        max_lod: float,
+        prefix: str = "dm",
+        bulk_index: bool = True,
+        compress_connections: bool = False,
+        clustered: bool = True,
+        cluster_nodes: int = DEFAULT_CLUSTER_NODES,
+    ) -> "DirectMeshStore":
+        """Materialise a store from bare nodes + connection lists.
+
+        The workhorse behind :meth:`build`, split out so the live
+        mutation layer (:mod:`repro.core.mutate`) can materialise a
+        *forest* — per-tile PM trees merged under globally remapped
+        ids — which :class:`~repro.mesh.progressive.ProgressiveMesh`
+        would reject (its validation requires positional ids).  The
+        nodes must already carry Section-4 normalised ``e``/``e_high``
+        values; ``max_lod`` is the maximum over the whole node set.
+        """
         e_cap = max_lod * 1.05 + 1.0
 
         heap = HeapFile(database.segment(f"{prefix}_nodes"))
@@ -187,12 +225,12 @@ class DirectMeshStore:
         # index).  This is the strongest "(x, y) clustering preserved"
         # arrangement for DM's access path.
         boxes = []
-        for node in pm.nodes:
+        for node in nodes:
             e_high = node.e_high if node.e_high != LOD_INFINITY else e_cap
             boxes.append(
                 Box3.vertical_segment(node.x, node.y, node.e, e_high)
             )
-        ordered = [pm.nodes[i] for i in str_order(boxes)]
+        ordered = [nodes[i] for i in str_order(boxes)]
 
         total_bytes = 0
         total_conn = 0
@@ -231,7 +269,7 @@ class DirectMeshStore:
             )
 
         report = DMBuildReport(
-            n_nodes=len(pm.nodes),
+            n_nodes=len(nodes),
             heap_pages=heap.n_pages,
             index_pages=database.segment_pages(f"{prefix}_rtree"),
             btree_pages=database.segment_pages(f"{prefix}_btree"),
@@ -245,7 +283,7 @@ class DirectMeshStore:
         database.buffer.flush_dirty()
         return cls(
             database, heap, rtree, btree, max_lod, e_cap, report,
-            clusters=clusters,
+            clusters=clusters, prefix=prefix,
         )
 
     @classmethod
@@ -269,7 +307,7 @@ class DirectMeshStore:
             )
         return cls(
             database, heap, rtree, btree, meta["max_lod"], meta["e_cap"],
-            clusters=clusters,
+            clusters=clusters, prefix=prefix,
         )
 
     @staticmethod

@@ -232,6 +232,10 @@ class QueryMetrics:
     #: per-node oracle path.
     clusters_touched: int = 0
     nodes_decoded: int = 0
+    #: The store epoch this query was pinned to (see
+    #: :meth:`QueryEngine.pinned_snapshot`).  Under live mutation, two
+    #: outcomes with equal ``epoch`` saw the same terrain snapshot.
+    epoch: int = 0
 
 
 @dataclass
@@ -502,6 +506,24 @@ class _NodeTally:
         self.count += n
 
 
+@dataclass(frozen=True)
+class _StoreSnapshot:
+    """An immutable ``(store, epoch)`` pair a request pins once.
+
+    Live mutation (:mod:`repro.core.mutate`) swaps the engine's
+    current snapshot at patch commit; every request captures the
+    snapshot *once* at submission and reads store state only through
+    it, so a request that started on epoch ``N`` finishes on epoch
+    ``N`` — never a hybrid — even when ``N+1`` commits mid-flight.
+    Reprolint rule R12 enforces the discipline: the engine's ``_snap``
+    slot may only be touched by ``__init__``/``pinned_snapshot``/
+    ``install_store``.
+    """
+
+    store: "DirectMeshStore"
+    epoch: int = 0
+
+
 @dataclass
 class _Group:
     """Requests sharing one range query (identical query boxes)."""
@@ -513,6 +535,9 @@ class _Group:
     # Filled by the leader task: decoded records (scalar path) or a
     # columnar page (vectorized path / cache enabled).
     records: "list[DMNodeRecord] | DMNodeColumns | None" = None
+    #: The snapshot the whole group executes against (pinned when the
+    #: group was planned; execution never re-reads the live slot).
+    snap: "_StoreSnapshot | None" = None
 
 
 class QueryEngine:
@@ -571,6 +596,10 @@ class QueryEngine:
         cluster_cache_bytes: budget of the engine's decoded-cluster
             LRU (:class:`~repro.core.cache.ClusterCache`); only used
             when the clustered path is active.
+        epoch: the store's committed epoch (``database.store_epoch``);
+            0 for never-patched stores.  Requests pin ``(store,
+            epoch)`` once at submission; live patches swap the pair
+            via :meth:`install_store`.
     """
 
     def __init__(
@@ -589,6 +618,7 @@ class QueryEngine:
         governor: CostGovernor | None = None,
         clustered: bool | None = None,
         cluster_cache_bytes: int = DEFAULT_CLUSTER_CACHE_BYTES,
+        epoch: int = 0,
     ) -> None:
         if workers < 1:
             raise QueryError(f"workers must be >= 1, got {workers}")
@@ -613,7 +643,7 @@ class QueryEngine:
                 "clustered=True but the store has no cluster section "
                 "(rebuild with DirectMeshStore.build(clustered=True))"
             )
-        self._store = store
+        self._snap = _StoreSnapshot(store, epoch)
         self._workers = workers
         self._dedup = dedup
         self._retries = retries
@@ -628,9 +658,11 @@ class QueryEngine:
         )
         # Base-mesh snapshot for the shed path, fetched once on first
         # shed (double-checked under _base_lock: submit() is called
-        # from arbitrary client threads).
+        # from arbitrary client threads).  Epoch-tagged: a live patch
+        # changes the root set, so a snapshot fetched at epoch N only
+        # serves requests pinned to N.
         self._base_lock = watched_lock("QueryEngine._base_lock")
-        self._base_columns: DMNodeColumns | None = None
+        self._base_columns: tuple[int, DMNodeColumns] | None = None
         # Delta-session manager, created lazily on first use (DCL
         # under _session_lock: sessions() may race from client
         # threads; the import is local to avoid a module cycle).
@@ -657,8 +689,67 @@ class QueryEngine:
 
     @property
     def store(self) -> "DirectMeshStore":
-        """The store this engine serves from."""
-        return self._store
+        """The store this engine currently serves from."""
+        return self.pinned_snapshot().store
+
+    @property
+    def epoch(self) -> int:
+        """The committed epoch of the current snapshot."""
+        return self.pinned_snapshot().epoch
+
+    def pinned_snapshot(self) -> _StoreSnapshot:
+        """Capture the current ``(store, epoch)`` snapshot.
+
+        The *only* read path to the engine's live store slot
+        (reprolint R12).  Callers capture once per request and thread
+        the frozen snapshot through execution; the reference swap in
+        :meth:`install_store` is atomic, so no lock is needed here.
+        """
+        return self._snap
+
+    def install_store(
+        self,
+        store: "DirectMeshStore",
+        epoch: int,
+        region: Rect | None = None,
+    ) -> None:
+        """Swap the serving snapshot after a committed live patch.
+
+        In-flight requests keep the snapshot they pinned (old-epoch
+        segments stay on disk); new submissions see ``(store,
+        epoch)``.  ``region`` is the patched area: the semantic cache
+        drops exactly the cubes overlapping it (and arms its
+        insert-time guard, see
+        :meth:`~repro.core.cache.SemanticCache.begin_epoch`), the
+        cluster cache drops overlapping decoded clusters, and
+        streaming sessions whose last ROI overlaps are marked for a
+        keyframe resync.  ``region=None`` treats the whole terrain as
+        patched (full rebuild).
+        """
+        if self._clustered and store.clusters is None:
+            raise QueryError(
+                "cannot install a store without a cluster section "
+                "into a clustered engine"
+            )
+        registry = self.registry
+        # Invalidate BEFORE publishing the new snapshot: a request
+        # that pins the new epoch must never find a stale overlapping
+        # entry still resident (lookup serves entries with epoch <=
+        # the pinned epoch, so the drop has to happen first).  The
+        # reverse race — an old-epoch request inserting a stale entry
+        # after the drop — is closed by begin_epoch's insert guard.
+        if self._cache is not None:
+            self._cache.begin_epoch(epoch, region)
+            registry.counter("cache.region_invalidations").inc()
+        if self._cluster_cache is not None:
+            self._cluster_cache.invalidate(region)
+            registry.counter("cluster.region_invalidations").inc()
+        self._snap = _StoreSnapshot(store, epoch)
+        registry.gauge("engine.epoch").set(epoch)
+        with self._session_lock:
+            manager = self._session_manager
+        if manager is not None:
+            manager.mark_stale(region)
 
     @property
     def cache(self) -> SemanticCache | None:
@@ -742,15 +833,24 @@ class QueryEngine:
             if self._deadline_s is None
             else time.monotonic() + self._deadline_s
         )
+        snap = self.pinned_snapshot()
         cache = self._cache
         if cache is not None:
-            columns = cache.lookup(request.query_box(self._store.e_cap))
+            columns = cache.lookup(
+                request.query_box(snap.store.e_cap), epoch=snap.epoch
+            )
             if columns is not None:
-                return _resolved(self._cached_outcome(request, columns))
+                return _resolved(
+                    self._cached_outcome(request, columns, snap.epoch)
+                )
         governor = self._governor
         if governor is None:
-            return self._submit_task(request, deadline, 0.0, degraded=False)
-        cost = self._estimate_cost(request.query_box(self._store.e_cap))
+            return self._submit_task(
+                request, snap, deadline, 0.0, degraded=False
+            )
+        cost = self._estimate_cost(
+            request.query_box(snap.store.e_cap), snap.store
+        )
         registry.histogram("slo.estimated_cost").observe(cost)
         degradable = self._degrade and isinstance(request, UniformRequest)
         decision = governor.decide(tenant, cost, degradable=degradable)
@@ -760,17 +860,19 @@ class QueryEngine:
         if decision.action == ADMIT:
             registry.counter("engine.admitted").inc()
             return self._submit_task(
-                request, deadline, decision.reserved_cost, degraded=False
+                request, snap, deadline, decision.reserved_cost,
+                degraded=False,
             )
         if decision.action == DEGRADE:
             registry.counter("engine.overload_degraded").inc()
             return self._submit_task(
-                request, deadline, decision.reserved_cost, degraded=True
+                request, snap, deadline, decision.reserved_cost,
+                degraded=True,
             )
         registry.counter("engine.shed").inc()
-        return _resolved(self._shed_outcome(request))
+        return _resolved(self._shed_outcome(request, snap))
 
-    def _estimate_cost(self, box: Box3) -> float:
+    def _estimate_cost(self, box: Box3, store: "DirectMeshStore") -> float:
         """Admission cost of a probe, in predicted physical pages.
 
         The per-node path uses the paper's DA formula over R*-tree
@@ -784,7 +886,7 @@ class QueryEngine:
         governor = self._governor
         if governor is None:
             return 1.0
-        cluster_model = self._store.cluster_cost_model
+        cluster_model = store.cluster_cost_model
         if self._clustered and cluster_model is not None:
             return max(1.0, cluster_model.estimate(box))
         return governor.estimate(box)
@@ -792,13 +894,14 @@ class QueryEngine:
     def _submit_task(
         self,
         request: EngineRequest,
+        snap: _StoreSnapshot,
         deadline: float | None,
         reserved: float,
         degraded: bool,
     ) -> "Future[QueryOutcome]":
         """Queue one request on the pool, releasing its reservation
         (and the queue-depth gauge) however execution ends."""
-        group = self._single_group(request)
+        group = self._single_group(request, snap)
         queue_depth = self.registry.gauge("slo.queue_depth")
         queue_depth.add(1)
 
@@ -820,13 +923,15 @@ class QueryEngine:
 
         return self._pool.submit(task)
 
-    def _single_group(self, request: EngineRequest) -> _Group:
+    def _single_group(
+        self, request: EngineRequest, snap: _StoreSnapshot
+    ) -> _Group:
         """A one-request group (the submit path never dedups)."""
-        e_cap = self._store.e_cap
+        e_cap = snap.store.e_cap
         box = request.query_box(e_cap)
         if self._cache is not None:
             box = self._cache.inflate(box, e_cap)
-        return _Group(box, [0], [request])
+        return _Group(box, [0], [request], snap=snap)
 
     def _run_overload_degraded(self, group: _Group) -> list[QueryOutcome]:
         """Serve a group at the base mesh because admission said so.
@@ -843,7 +948,9 @@ class QueryEngine:
             outcome.degraded = True
         return outcomes
 
-    def _shed_outcome(self, request: EngineRequest) -> QueryOutcome:
+    def _shed_outcome(
+        self, request: EngineRequest, snap: _StoreSnapshot
+    ) -> QueryOutcome:
         """Answer a shed request from the base-mesh snapshot, inline.
 
         Costs one vectorized filter in the caller's thread — no
@@ -853,7 +960,7 @@ class QueryEngine:
         """
         started = time.perf_counter()
         columns = (
-            self._base_snapshot()
+            self._base_snapshot(snap)
             if self._degrade and isinstance(request, UniformRequest)
             else None
         )
@@ -864,15 +971,17 @@ class QueryEngine:
                 "answer was possible"
             )
             return QueryOutcome(
-                request, None, QueryMetrics(), error=error, shed=True
+                request, None, QueryMetrics(epoch=snap.epoch),
+                error=error, shed=True,
             )
-        coarse = UniformRequest(request.roi, self._store.max_lod)
+        coarse = UniformRequest(request.roi, snap.store.max_lod)
         result = DMQueryResult(
             nodes=coarse.filter(columns), retrieved=len(columns)
         )
         filter_s = time.perf_counter() - started
         metrics = QueryMetrics(
-            filter_s=filter_s, total_s=filter_s, cached=True
+            filter_s=filter_s, total_s=filter_s, cached=True,
+            epoch=snap.epoch,
         )
         self.registry.counter("engine.degraded").inc()
         self.registry.histogram("engine.filter_s").observe(filter_s)
@@ -880,20 +989,22 @@ class QueryEngine:
             request, result, metrics, degraded=True, shed=True
         )
 
-    def _base_snapshot(self) -> DMNodeColumns | None:
+    def _base_snapshot(self, snap: _StoreSnapshot) -> DMNodeColumns | None:
         """The base mesh as one cached columnar page set.
 
         Fetched once (submit() races from many client threads) and
         shared read-only afterwards — root records are immutable for
-        the life of the store.  The page reads run *outside*
-        ``_base_lock``: holding a lock across buffer-pool I/O stalls
-        every other shedding thread and orders ``_base_lock`` against
-        the whole storage lock hierarchy (reprolint R10).  Racing
-        threads may fetch twice; publication under the lock with a
-        re-check keeps exactly one winner.
+        the life of a store *epoch*, so the cached set is tagged with
+        the epoch it was fetched at and refetched after a patch swaps
+        the snapshot.  The page reads run *outside* ``_base_lock``:
+        holding a lock across buffer-pool I/O stalls every other
+        shedding thread and orders ``_base_lock`` against the whole
+        storage lock hierarchy (reprolint R10).  Racing threads may
+        fetch twice; publication under the lock keeps one winner.
         """
-        if self._base_columns is None:
-            store = self._store
+        cached = self._base_columns
+        if cached is None or cached[0] != snap.epoch:
+            store = snap.store
             space = store.rtree.data_space
             if space is None:
                 return None
@@ -905,9 +1016,11 @@ class QueryEngine:
                 # Leave unset: the next shed retries the fetch.
                 return None
             with self._base_lock:
-                if self._base_columns is None:
-                    self._base_columns = columns
-        return self._base_columns
+                existing = self._base_columns
+                if existing is None or existing[0] != snap.epoch:
+                    self._base_columns = (snap.epoch, columns)
+            return columns
+        return cached[1]
 
     def run_batch(
         self, requests: Sequence[EngineRequest]
@@ -936,22 +1049,25 @@ class QueryEngine:
             else time.monotonic() + self._deadline_s
         )
         outcomes: list[QueryOutcome | None] = [None] * len(requests)
+        snap = self.pinned_snapshot()
         cache = self._cache
         cache_before = cache.stats() if cache is not None else None
         if cache is None:
             pending = list(enumerate(requests))
         else:
             pending = []
-            e_cap = self._store.e_cap
+            e_cap = snap.store.e_cap
             for position, request in enumerate(requests):
-                columns = cache.lookup(request.query_box(e_cap))
+                columns = cache.lookup(
+                    request.query_box(e_cap), epoch=snap.epoch
+                )
                 if columns is None:
                     pending.append((position, request))
                 else:
                     outcomes[position] = self._cached_outcome(
-                        request, columns
+                        request, columns, snap.epoch
                     )
-        groups = self._plan(pending)
+        groups = self._plan(pending, snap)
         leaders = [g for g in groups if g.leader is None]
         followers = [g for g in groups if g.leader is not None]
 
@@ -1001,7 +1117,10 @@ class QueryEngine:
         return filled
 
     def _cached_outcome(
-        self, request: EngineRequest, columns: DMNodeColumns
+        self,
+        request: EngineRequest,
+        columns: DMNodeColumns,
+        epoch: int = 0,
     ) -> QueryOutcome:
         """Answer a request from a cached cube (no index/disk I/O)."""
         started = time.perf_counter()
@@ -1010,7 +1129,7 @@ class QueryEngine:
         )
         filter_s = time.perf_counter() - started
         metrics = QueryMetrics(
-            filter_s=filter_s, total_s=filter_s, cached=True
+            filter_s=filter_s, total_s=filter_s, cached=True, epoch=epoch
         )
         self.registry.histogram("engine.filter_s").observe(filter_s)
         return QueryOutcome(request, result, metrics)
@@ -1043,7 +1162,9 @@ class QueryEngine:
     # -- planning ----------------------------------------------------------
 
     def _plan(
-        self, pending: Sequence[tuple[int, EngineRequest]]
+        self,
+        pending: Sequence[tuple[int, EngineRequest]],
+        snap: _StoreSnapshot,
     ) -> list[_Group]:
         """Group ``(position, request)`` pairs into shared range
         queries per dedup policy.
@@ -1054,7 +1175,7 @@ class QueryEngine:
         LODs into future cache hits.  Grouping still keys on the
         uninflated box, so dedup semantics are cache-independent.
         """
-        e_cap = self._store.e_cap
+        e_cap = snap.store.e_cap
         cache = self._cache
         groups: list[_Group] = []
         if self._dedup == "off":
@@ -1062,7 +1183,7 @@ class QueryEngine:
                 box = request.query_box(e_cap)
                 if cache is not None:
                     box = cache.inflate(box, e_cap)
-                groups.append(_Group(box, [position], [request]))
+                groups.append(_Group(box, [position], [request], snap=snap))
             return groups
 
         # Key on (box, request type) only: identical query boxes share
@@ -1077,7 +1198,7 @@ class QueryEngine:
             group = by_key.get(key)
             if group is None:
                 probe = box if cache is None else cache.inflate(box, e_cap)
-                group = _Group(probe)
+                group = _Group(probe, snap=snap)
                 by_key[key] = group
                 groups.append(group)
             group.positions.append(position)
@@ -1171,6 +1292,7 @@ class QueryEngine:
             filter_s=filter_s,
             total_s=filter_s,
             shared=True,
+            epoch=leader_metrics.epoch,
         )
         for outcome in outcomes:
             outcome.metrics = metrics
@@ -1181,7 +1303,8 @@ class QueryEngine:
         """Run the group's range query, fetch, and per-request filters."""
         if self._clustered:
             return self._execute_group_clustered(group)
-        store = self._store
+        snap = group.snap or self.pinned_snapshot()
+        store = snap.store
         registry = self.registry
         tally = _NodeTally()
         started = time.perf_counter()
@@ -1196,7 +1319,7 @@ class QueryEngine:
             outcomes = self._filter_group(group, records, shared=False)
         finished = time.perf_counter()
         if self._cache is not None and isinstance(records, DMNodeColumns):
-            self._cache.insert(group.box, records)
+            self._cache.insert(group.box, records, epoch=snap.epoch)
 
         metrics = QueryMetrics(
             nodes_visited=tally.count,
@@ -1207,6 +1330,7 @@ class QueryEngine:
             fetch_s=fetch_done - index_done,
             filter_s=finished - fetch_done,
             total_s=finished - started,
+            epoch=snap.epoch,
         )
         group.records = records
         for outcome in outcomes:
@@ -1249,7 +1373,8 @@ class QueryEngine:
         the run pages actually transferred (the pager records a run as
         its page count, not one probe call).
         """
-        store = self._store
+        snap = group.snap or self.pinned_snapshot()
+        store = snap.store
         clusters = store.clusters
         cluster_cache = self._cluster_cache
         if clusters is None or cluster_cache is None:
@@ -1266,10 +1391,15 @@ class QueryEngine:
             parts: list[DMNodeColumns] = []
             hit_pages = 0
             for cid in cids:
-                columns = cluster_cache.get(cid)
+                columns = cluster_cache.get(cid, snap.epoch)
                 if columns is None:
                     columns = clusters.decode(cid)
-                    cluster_cache.put(cid, columns)
+                    cluster_cache.put(
+                        cid,
+                        columns,
+                        snap.epoch,
+                        extent=clusters.meta(cid).box,
+                    )
                     runs_read += 1
                 else:
                     decode_hits += 1
@@ -1295,7 +1425,7 @@ class QueryEngine:
             outcomes = self._filter_group(group, records, shared=False)
         finished = time.perf_counter()
         if self._cache is not None:
-            self._cache.insert(group.box, records)
+            self._cache.insert(group.box, records, epoch=snap.epoch)
 
         metrics = QueryMetrics(
             nodes_visited=len(cids),
@@ -1308,6 +1438,7 @@ class QueryEngine:
             total_s=finished - started,
             clusters_touched=len(cids),
             nodes_decoded=nodes_decoded,
+            epoch=snap.epoch,
         )
         group.records = records
         for outcome in outcomes:
@@ -1419,7 +1550,8 @@ class QueryEngine:
         handful of root records instead of a deep fetch.  No retry:
         this is the last, best effort under deadline pressure.
         """
-        store = self._store
+        snap = group.snap or self.pinned_snapshot()
+        store = snap.store
         coarse_lod = store.max_lod
         uniform = [
             request
@@ -1436,6 +1568,7 @@ class QueryEngine:
             UniformRequest(roi, coarse_lod).query_box(store.e_cap),
             list(group.positions),
             [UniformRequest(request.roi, coarse_lod) for request in uniform],
+            snap=snap,
         )
         outcomes = self._execute_group(coarse_group)
         # Re-label with the original requests: the caller must see the

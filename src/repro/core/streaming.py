@@ -217,9 +217,17 @@ class EngineSession:
     leaves the session state untouched, so the client's mesh and the
     server's view of it cannot drift.
 
-    Not thread-safe: a session is one client's ordered stream.  Use
-    one :class:`EngineSession` per client; the engine underneath is
-    the concurrency layer.
+    When a terrain patch commits over the session's view
+    (:meth:`mark_stale`, driven by
+    :meth:`QueryEngine.install_store`), the next :meth:`update` is
+    forced to a keyframe: the client's spliced mesh mixes pre-patch
+    records with a post-patch answer otherwise, and no incremental
+    delta can reconcile node ids across epochs.
+
+    Not thread-safe for updates: a session is one client's ordered
+    stream (:meth:`mark_stale` alone may be called from any thread).
+    Use one :class:`EngineSession` per client; the engine underneath
+    is the concurrency layer.
     """
 
     def __init__(
@@ -236,6 +244,8 @@ class EngineSession:
         self._active: dict[int, DMNodeRecord] = {}
         self._seq = 0
         self._bytes_sent = 0
+        self._stale = threading.Event()
+        self._last_roi: "Rect | None" = None
 
     # -- state ------------------------------------------------------------
 
@@ -264,7 +274,41 @@ class EngineSession:
         """Total wire bytes encoded by this session."""
         return self._bytes_sent
 
+    @property
+    def stale(self) -> bool:
+        """Whether the next update is forced to a keyframe."""
+        return self._stale.is_set()
+
+    # -- mutation ----------------------------------------------------------
+
+    def mark_stale(self, region: "Rect | None" = None) -> None:
+        """Force the next :meth:`update` to emit a keyframe.
+
+        Called when a terrain patch commits.  ``region`` is the
+        patched extent: a session whose last view does not overlap it
+        keeps streaming plain deltas (its records are untouched by
+        the patch).  ``None`` marks unconditionally, as does an
+        unknown last view — staleness must over-approximate.
+
+        Safe from any thread; the keyframe itself is emitted on the
+        session's own (single-client) update path.
+        """
+        if region is not None and self._last_roi is not None:
+            if not self._last_roi.intersects(region):
+                return
+        self._stale.set()
+
     # -- updates ----------------------------------------------------------
+
+    @staticmethod
+    def _request_roi(request: "EngineRequest") -> "Rect | None":
+        """The request's ground-plane footprint, if it exposes one."""
+        roi = getattr(request, "roi", None)
+        if isinstance(roi, Rect):
+            return roi
+        plane = getattr(request, "plane", None)
+        roi = getattr(plane, "roi", None)
+        return roi if isinstance(roi, Rect) else None
 
     def update(self, request: "EngineRequest") -> FrameResult:
         """Serve one view update as a wire frame.
@@ -282,14 +326,32 @@ class EngineSession:
         delta = diff_active(
             self._active, outcome.result, outcome.metrics.pages_read
         )
-        flags = FLAG_KEYFRAME if self._seq == 0 else 0
+        stale = self._stale.is_set()
+        keyframe = self._seq == 0 or stale
+        flags = FLAG_KEYFRAME if keyframe else 0
         if outcome.degraded:
             flags |= FLAG_DEGRADED
-        frame = DeltaFrame(
-            self._seq, tuple(delta.added), tuple(delta.removed), flags
-        )
+        if keyframe:
+            # Post-patch node ids are a different epoch's namespace: a
+            # delta spliced over pre-patch records would silently mix
+            # snapshots, so ship the whole new view instead.
+            nodes = outcome.result.nodes
+            frame = DeltaFrame(
+                self._seq,
+                tuple(nodes[node_id] for node_id in sorted(nodes)),
+                (),
+                flags,
+            )
+        else:
+            frame = DeltaFrame(
+                self._seq, tuple(delta.added), tuple(delta.removed), flags
+            )
         payload = encode_frame(frame, compress=self._compress)
         self._active = dict(outcome.result.nodes)
+        self._last_roi = self._request_roi(request)
+        if stale:
+            self._stale.clear()
+            registry.counter("session.patch_resyncs").inc()
         self._seq += 1
         self._bytes_sent += len(payload)
         registry.counter("session.updates").inc()
@@ -378,6 +440,19 @@ class SessionManager:
                 )
             active = len(self._sessions)
         self._engine.registry.gauge("session.active").set(active)
+
+    def mark_stale(self, region: "Rect | None" = None) -> None:
+        """Mark every session overlapping ``region`` stale.
+
+        Called by :meth:`QueryEngine.install_store` when a patch
+        commits: each affected session's next frame is forced to a
+        keyframe (see :meth:`EngineSession.mark_stale`).  ``None``
+        marks every open session.
+        """
+        with self._lock:
+            sessions = list(self._sessions.values())
+        for session in sessions:
+            session.mark_stale(region)
 
     def ids(self) -> list[str]:
         """The open session ids, sorted."""

@@ -176,3 +176,28 @@ class SessionError(QueryError):
 
 class DatasetError(ReproError):
     """A dataset could not be generated, loaded, or cached."""
+
+
+class PatchError(DatasetError):
+    """A DEM patch was malformed and could not be applied.
+
+    Raised by :meth:`repro.terrain.dem.DEM.apply_patch` for off-grid,
+    out-of-bounds, zero-area, mis-shaped, or non-numeric patches —
+    *before* any height is touched, so a rejected patch never leaves
+    the grid half-updated.  Context carries the offending region,
+    expected and actual shapes, and the grid geometry, instead of the
+    numpy broadcasting error the raw assignment would raise.
+    """
+
+
+class MutationError(StorageError):
+    """A live-mutation transaction could not be staged or committed.
+
+    Raised by :mod:`repro.core.mutate` for protocol failures: patching
+    through a store handle whose previous patch aborted mid-flight,
+    staging over segments that cannot be cleared, or opening a mutable
+    store whose tile sidecar is missing or inconsistent.  A crash
+    *during* a patch is not an error — recovery lands the store on the
+    pre- or post-patch snapshot — but the in-process handle that threw
+    must be reopened before it may patch again.
+    """

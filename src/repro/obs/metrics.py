@@ -59,6 +59,7 @@ METRIC_NAMES: frozenset[str] = frozenset(
         "engine.deadline_misses",
         "engine.degraded",
         "engine.corruptions",
+        "engine.epoch",
         # -- admission control (CostGovernor) ------------------------------
         "engine.admitted",
         "engine.shed",
@@ -79,6 +80,7 @@ METRIC_NAMES: frozenset[str] = frozenset(
         "cache.evictions",
         "cache.bytes",
         "cache.entries",
+        "cache.region_invalidations",
         # -- benchmark harness ---------------------------------------------
         "bench.cold_query_s",
         "bench.batch_s",
@@ -92,6 +94,7 @@ METRIC_NAMES: frozenset[str] = frozenset(
         "session.updates",
         "session.errors",
         "session.resyncs",
+        "session.patch_resyncs",
         "session.added",
         "session.removed",
         "session.bytes_wire",
@@ -104,6 +107,7 @@ METRIC_NAMES: frozenset[str] = frozenset(
         "cluster.bytes",
         "cluster.entries",
         "cluster.evictions",
+        "cluster.region_invalidations",
         # -- storage integrity ---------------------------------------------
         "storage.crc_failures",
         "storage.cluster_reads",
@@ -111,6 +115,7 @@ METRIC_NAMES: frozenset[str] = frozenset(
         "fsck.pages_corrupt",
         "fsck.pages_repaired",
         "fsck.pages_quarantined",
+        "fsck.orphan_segments",
     }
 )
 

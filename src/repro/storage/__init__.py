@@ -25,6 +25,7 @@ from repro.storage.faults import FaultInjector
 from repro.storage.heapfile import HeapFile, pack_rid, unpack_rid
 from repro.storage.integrity import (
     FsckReport,
+    OrphanSegment,
     PageFault,
     PageQuarantine,
     archive_pages,
@@ -69,6 +70,7 @@ __all__ = [
     "HeapFile",
     "IOTrace",
     "IOTracer",
+    "OrphanSegment",
     "PAGE_FORMAT_V1",
     "PAGE_FORMAT_V2",
     "PM_RECORD_SIZE",

@@ -175,6 +175,18 @@ class BufferPool:
         with self._latch:
             self._frames.pop((pager.name, page_no), None)
 
+    def drop_segment(self, name: str) -> None:
+        """Forget every cached page of one segment *without* write-back.
+
+        Used when a segment file is removed outright (clearing the
+        stale staging of an aborted patch): a dirty frame surviving the
+        unlink would resurrect the file on the next flush.
+        """
+        with self._latch:
+            doomed = [key for key in self._frames if key[0] == name]
+            for key in doomed:
+                self._frames.pop(key)
+
     # -- maintenance ------------------------------------------------------------
 
     def flush(self) -> None:

@@ -21,10 +21,11 @@ under v2 and the full page under v1.
 from __future__ import annotations
 
 import json
+import os
 import shutil
 from contextlib import contextmanager
 from pathlib import Path
-from typing import TYPE_CHECKING, Iterator
+from typing import TYPE_CHECKING, Callable, Iterator
 
 from repro.errors import StorageError
 from repro.storage.buffer import DEFAULT_POOL_PAGES, BufferPool
@@ -40,10 +41,45 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.obs.metrics import MetricsRegistry
     from repro.storage.faults import FaultInjector
 
-__all__ = ["Database", "Segment", "STORAGE_META_FILENAME"]
+__all__ = [
+    "Database",
+    "Segment",
+    "STORAGE_META_FILENAME",
+    "epoch_prefix",
+    "parse_epoch_segment",
+]
 
 #: Sidecar file recording the database's page format.
 STORAGE_META_FILENAME = "storage_meta.json"
+
+
+def epoch_prefix(prefix: str, epoch: int) -> str:
+    """The physical segment prefix of a store ``prefix`` at ``epoch``.
+
+    Epoch 0 is the plain prefix (``dm_nodes``, ...), so stores that are
+    never mutated keep their historical file names; later epochs live
+    in shadow segments (``dm@2_nodes``, ...) staged by the patch path.
+    """
+    if epoch < 0:
+        raise StorageError(f"epoch must be >= 0, got {epoch}")
+    return prefix if epoch == 0 else f"{prefix}@{epoch}"
+
+
+def parse_epoch_segment(name: str) -> tuple[str, int] | None:
+    """Split ``dm@3_nodes`` into ``("dm", 3)``; ``None`` for epoch-0 names.
+
+    The inverse of :func:`epoch_prefix` over segment *names*: returns
+    the logical store prefix and epoch of an epoch-suffixed name, or
+    ``None`` when the name carries no epoch marker.  ``fsck`` uses it
+    to find staged segments whose epoch was never committed.
+    """
+    base, sep, rest = name.rpartition("@")
+    if not sep:
+        return None
+    tag, sep, _ = rest.partition("_")
+    if not sep or not tag.isdigit():
+        return None
+    return base, int(tag)
 
 
 class Segment:
@@ -258,11 +294,22 @@ class Database:
         if not WriteAheadLog.needs_recovery(self.path):
             return
         wal = WriteAheadLog(self.path, self.page_size)
-        outcome = wal.recover(self.segment)
+        outcome = wal.recover(
+            self.segment, on_patch_commit=self._apply_patch_flip
+        )
         if outcome == "replayed":
             self.buffer.flush_dirty()
             for pager in self._pagers.values():
                 pager.sync()
+
+    def _apply_patch_flip(self, header: dict) -> None:
+        """Re-apply a committed patch's epoch flip during recovery.
+
+        Idempotent: the crash may have landed after the flip but
+        before the log unlink, in which case the meta already points
+        at ``to_epoch`` and this is a no-op rewrite.
+        """
+        self.set_store_epoch(str(header["prefix"]), int(header["to_epoch"]))
 
     # -- segments -----------------------------------------------------------
 
@@ -337,6 +384,24 @@ class Database:
         """True if the segment file exists on disk."""
         return name in self._pagers or (self.path / f"{name}.seg").exists()
 
+    def remove_segment(self, name: str) -> None:
+        """Delete a segment file and forget all its cached state.
+
+        Used to clear the stale staging of an aborted patch before
+        re-staging the same target epoch: the pager is closed, every
+        buffered frame dropped *without* write-back (a dirty frame
+        would resurrect the file), and the file unlinked.  A no-op for
+        a segment that does not exist.
+        """
+        self._check_open()
+        pager = self._pagers.pop(name, None)
+        if pager is not None:
+            pager.close()
+        self.buffer.drop_segment(name)
+        path = self.path / f"{name}.seg"
+        if path.exists():
+            path.unlink()
+
     def segment_names(self) -> list[str]:
         """All segment files present in the database directory."""
         return sorted(p.stem for p in self.path.glob("*.seg"))
@@ -364,7 +429,136 @@ class Database:
         """Physical reads since the last reset (the paper's metric)."""
         return self.stats.physical_reads
 
+    # -- store epochs --------------------------------------------------------
+
+    def _read_meta(self) -> dict:
+        meta_path = self.path / STORAGE_META_FILENAME
+        if not meta_path.exists():
+            # Legacy v1 directory: synthesise the flag the resolver
+            # inferred so a meta rewrite cannot change the format.
+            return {"page_format": self.page_format, "page_size": self.page_size}
+        try:
+            return dict(json.loads(meta_path.read_text(encoding="utf-8")))
+        except ValueError as exc:
+            raise StorageError(
+                f"unreadable storage metadata: {exc}", path=str(meta_path)
+            ) from exc
+
+    def _write_meta(self, meta: dict) -> None:
+        """Atomically replace ``storage_meta.json`` (tmp + rename).
+
+        The epoch flip is the commit point of a patch transaction, so
+        the rewrite must never leave a torn file: the new contents are
+        fsynced under a temporary name, then renamed over the old file
+        in one atomic step.
+        """
+        meta_path = self.path / STORAGE_META_FILENAME
+        tmp_path = meta_path.with_suffix(".json.tmp")
+        blob = json.dumps(meta, sort_keys=True) + "\n"
+        fd = os.open(tmp_path, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644)
+        try:
+            os.write(fd, blob.encode("utf-8"))
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+        os.replace(tmp_path, meta_path)
+
+    def store_epoch(self, prefix: str) -> int:
+        """The committed epoch of store ``prefix`` (0 for never-patched)."""
+        epochs = self._read_meta().get("epochs", {})
+        if not isinstance(epochs, dict):
+            raise StorageError(
+                "storage metadata 'epochs' is not a mapping",
+                path=str(self.path),
+            )
+        return int(epochs.get(prefix, 0))
+
+    def set_store_epoch(self, prefix: str, epoch: int) -> None:
+        """Commit the store-wide epoch flip for ``prefix``.
+
+        This is the *only* mutation a reader can observe from a patch
+        transaction: everything staged before it lives in shadow
+        segments no epoch-pinned reader resolves, and the rewrite is
+        atomic (see :meth:`_write_meta`), so a crash at any instant
+        leaves the directory on exactly the pre- or post-patch epoch.
+        """
+        if epoch < 0:
+            raise StorageError(f"epoch must be >= 0, got {epoch}")
+        meta = self._read_meta()
+        epochs = dict(meta.get("epochs", {}))
+        epochs[prefix] = epoch
+        meta["epochs"] = epochs
+        self._write_meta(meta)
+
     # -- atomic multi-segment mutations -------------------------------------------
+
+    @contextmanager
+    def patch(
+        self,
+        header: dict,
+        kill_hook: "Callable[[str], None] | None" = None,
+    ) -> Iterator[None]:
+        """Crash-safe scope for one live-patch transaction.
+
+        Like :meth:`atomic`, every page write-back inside the scope is
+        logged before it hits the segments — but the log is headed by
+        a typed patch record (see :mod:`repro.storage.wal`) and sealed
+        by a patch-commit marker, and on normal exit the scope also
+        applies the store-wide **epoch flip** the header describes.
+        The protocol, in order:
+
+        1. ``begin_patch(header)`` — log header, attach to pagers;
+        2. caller stages shadow segments for ``header["to_epoch"]``;
+        3. flush dirty pages (each image logged first);
+        4. patch-commit marker + fsync — the transaction is durable;
+        5. fsync the staged segments;
+        6. ``set_store_epoch`` — the flip readers observe;
+        7. remove the log.
+
+        A crash before 4 discards the log on the next open (staged
+        segments become fsck-quarantinable orphans); a crash after 4
+        replays the log *and re-applies the flip* (recovery calls
+        :meth:`_apply_patch_flip`), so every kill point lands on the
+        pre- or post-patch snapshot, never a hybrid.  ``kill_hook`` is
+        the crash matrix's injection point (record-boundary events
+        plus ``flip:pre``/``flip:post``/``unlink:post``).
+        """
+        from repro.storage.wal import WriteAheadLog
+
+        if self._wal is not None:
+            raise StorageError("patch scopes do not nest with atomic scopes")
+        wal = WriteAheadLog(self.path, self.page_size)
+        wal.kill_hook = kill_hook
+        wal.begin_patch(header)
+        self._wal = wal
+        for pager in self._pagers.values():
+            pager.wal = wal
+        try:
+            yield
+            self.buffer.flush_dirty()
+            wal.commit_patch(header)
+            for pager in self._pagers.values():
+                pager.sync()
+            if kill_hook is not None:
+                kill_hook("flip:pre")
+            self.set_store_epoch(
+                str(header["prefix"]), int(header["to_epoch"])
+            )
+            if kill_hook is not None:
+                kill_hook("flip:post")
+            wal.close(discard=True)
+            if kill_hook is not None:
+                kill_hook("unlink:post")
+        except BaseException:
+            # Leave the log behind; the next open discards it if the
+            # commit marker never made it, or replays + re-flips if it
+            # did.  Close the fd without removing the file.
+            wal.close(discard=False)
+            raise
+        finally:
+            self._wal = None
+            for pager in self._pagers.values():
+                pager.wal = None
 
     @contextmanager
     def atomic(self) -> Iterator[None]:

@@ -46,10 +46,33 @@ from repro.errors import StorageError, TransientIOError
 from repro.obs.lockwatch import watched_lock
 from repro.storage.page import verify_page
 
-__all__ = ["CORRUPTION_KINDS", "FaultInjector", "corrupt_buffer"]
+__all__ = [
+    "CORRUPTION_KINDS",
+    "FaultInjector",
+    "SimulatedCrash",
+    "corrupt_buffer",
+]
 
 #: Supported page-corruption kinds (fault sites ``corrupt.<kind>``).
 CORRUPTION_KINDS = ("bitflip", "torn", "zero")
+
+
+class SimulatedCrash(BaseException):
+    """A test-injected process death.
+
+    Raised by crash-matrix kill hooks (see
+    :attr:`repro.storage.wal.WriteAheadLog.kill_hook`) to abandon a
+    transaction at an exact protocol point.  Derives from
+    :class:`BaseException` — not :class:`Exception`, and deliberately
+    not :class:`~repro.errors.ReproError` — so no recovery, retry, or
+    cleanup handler in the library can swallow it: like a real
+    ``kill -9``, it must unwind everything.  Context carries the kill
+    event label.
+    """
+
+    def __init__(self, event: str = "") -> None:
+        super().__init__(event)
+        self.event = event
 
 
 def corrupt_buffer(

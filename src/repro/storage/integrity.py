@@ -43,6 +43,7 @@ from typing import TYPE_CHECKING
 
 from repro.errors import PageCorruptionError, StorageError
 from repro.obs.lockwatch import watched_lock
+from repro.storage.database import parse_epoch_segment
 from repro.storage.faults import CORRUPTION_KINDS, corrupt_buffer
 from repro.storage.page import DEFAULT_PAGE_SIZE, verify_page
 from repro.storage.wal import WriteAheadLog
@@ -53,6 +54,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 __all__ = [
     "FsckReport",
+    "OrphanSegment",
     "PageFault",
     "PageQuarantine",
     "QUARANTINE_FILENAME",
@@ -154,6 +156,37 @@ class PageFault:
 
 
 @dataclass
+class OrphanSegment:
+    """One staged shadow segment whose epoch was never committed.
+
+    An aborted patch (crash before the WAL commit marker) leaves its
+    ``{prefix}@{epoch}_*`` segments on disk with the store's committed
+    epoch still below ``epoch``.  These pages are *garbage, not
+    corruption*: the store never referenced them, every reader is
+    consistent without them, and ``fsck`` reports them separately so a
+    crashed patch does not read as data rot.
+    """
+
+    segment: str
+    prefix: str
+    epoch: int
+    committed_epoch: int
+    pages: int = 0
+    removed: bool = False
+
+    def to_json(self) -> dict[str, object]:
+        """JSON-ready representation."""
+        return {
+            "segment": self.segment,
+            "prefix": self.prefix,
+            "epoch": self.epoch,
+            "committed_epoch": self.committed_epoch,
+            "pages": self.pages,
+            "removed": self.removed,
+        }
+
+
+@dataclass
 class FsckReport:
     """Outcome of a scrub (and optional repair) pass."""
 
@@ -164,6 +197,7 @@ class FsckReport:
     pages_scanned: int = 0
     corrupt: list[PageFault] = field(default_factory=list)
     structural: list[str] = field(default_factory=list)
+    orphans: list[OrphanSegment] = field(default_factory=list)
     repair_attempted: bool = False
 
     @property
@@ -182,8 +216,17 @@ class FsckReport:
         return sum(1 for fault in self.corrupt if fault.quarantined)
 
     @property
+    def orphan_segments(self) -> int:
+        """Staged shadow segments from aborted patches."""
+        return len(self.orphans)
+
+    @property
     def ok(self) -> bool:
-        """True when the database is (now) fully intact."""
+        """True when the database is (now) fully intact.
+
+        Orphaned staged segments do not flip this: the committed data
+        is whole, and the leftovers are reclaimable garbage, not rot.
+        """
         return not self.structural and all(
             fault.repaired for fault in self.corrupt
         )
@@ -201,8 +244,10 @@ class FsckReport:
             "repaired_pages": self.repaired_pages,
             "quarantined_pages": self.quarantined_pages,
             "repair_attempted": self.repair_attempted,
+            "orphan_segments": self.orphan_segments,
             "corrupt": [fault.to_json() for fault in self.corrupt],
             "structural": list(self.structural),
+            "orphans": [orphan.to_json() for orphan in self.orphans],
         }
 
     def to_text(self) -> str:
@@ -235,6 +280,22 @@ class FsckReport:
             lines.append(
                 f"  ... and {len(self.structural) - 50} more structural"
             )
+        if self.orphans:
+            lines.append(
+                f"  orphaned staged segments: {self.orphan_segments} "
+                "(aborted patch leftovers, not corruption)"
+            )
+        for orphan in self.orphans[:50]:
+            state = "removed" if orphan.removed else "reclaimable"
+            lines.append(
+                f"  ?? orphan: {orphan.segment} (staged epoch "
+                f"{orphan.epoch}, committed {orphan.committed_epoch}, "
+                f"{orphan.pages} pages, {state})"
+            )
+        if len(self.orphans) > 50:
+            lines.append(
+                f"  ... and {len(self.orphans) - 50} more orphans"
+            )
         return "\n".join(lines)
 
 
@@ -254,7 +315,13 @@ def scrub_database(
         page_format=database.page_format,
         checksummed=database.checksums,
     )
+    orphan_names = _find_orphans(database, report)
     for name in database.segment_names():
+        if name in orphan_names:
+            # An aborted patch's staged pages may legitimately be torn
+            # (the crash interrupted their writes); scanning them would
+            # misreport garbage as corruption.
+            continue
         segment = database.segment(name)
         report.segments_scanned += 1
         for page_no in range(segment.n_pages):
@@ -276,12 +343,47 @@ def scrub_database(
                 )
     corrupt_keys = {(fault.segment, fault.page) for fault in report.corrupt}
     for name in database.segment_names():
+        if name in orphan_names:
+            continue
         _scrub_rtree(database, name, corrupt_keys, report.structural)
-    _scrub_clusters(database, corrupt_keys, report.structural)
+    _scrub_clusters(database, corrupt_keys, report.structural, orphan_names)
     if registry is not None:
         registry.counter("fsck.pages_scanned").inc(report.pages_scanned)
         registry.counter("fsck.pages_corrupt").inc(report.corrupt_pages)
+        registry.counter("fsck.orphan_segments").inc(report.orphan_segments)
     return report
+
+
+def _find_orphans(database: "Database", report: FsckReport) -> set[str]:
+    """Record staged segments whose epoch exceeds the committed one.
+
+    A shadow segment ``{prefix}@{N}_*`` is an orphan exactly when the
+    store's committed epoch for ``prefix`` is below ``N``: only a
+    patch that reached its commit marker flips the epoch, so anything
+    above it was abandoned mid-flight.  Segments *at or below* the
+    committed epoch are live history (pinned readers may still hold
+    them) and are scrubbed normally.
+    """
+    orphan_names: set[str] = set()
+    for name in database.segment_names():
+        parsed = parse_epoch_segment(name)
+        if parsed is None:
+            continue
+        prefix, epoch = parsed
+        committed = database.store_epoch(prefix)
+        if epoch <= committed:
+            continue
+        report.orphans.append(
+            OrphanSegment(
+                name,
+                prefix,
+                epoch,
+                committed,
+                pages=database.segment(name).n_pages,
+            )
+        )
+        orphan_names.add(name)
+    return orphan_names
 
 
 def _read_page_tolerant(
@@ -397,6 +499,7 @@ def _scrub_clusters(
     database: "Database",
     corrupt_keys: set[tuple[str, int]],
     problems: list[str],
+    orphan_names: set[str] | None = None,
 ) -> None:
     """Cluster-run and directory consistency (no-op without sidecars).
 
@@ -415,6 +518,13 @@ def _scrub_clusters(
     suffix = "_clusters.json"
     for path in sorted(Path(database.path).glob(f"*{suffix}")):
         prefix = path.name[: -len(suffix)]
+        base, sep, tag = prefix.rpartition("@")
+        if (
+            sep
+            and tag.isdigit()
+            and int(tag) > database.store_epoch(base)
+        ):
+            continue  # Sidecar of an aborted patch: orphan, not rot.
         try:
             directory = ClusterDirectory.load(database, prefix)
         except StorageError as exc:
@@ -423,6 +533,8 @@ def _scrub_clusters(
             )
             continue
         name = directory.segment
+        if orphan_names and name in orphan_names:
+            continue
         if name not in database.segment_names():
             problems.append(
                 f"{path.name}: cluster run segment {name} missing"
@@ -488,9 +600,22 @@ def repair_database(database: "Database", report: FsckReport) -> FsckReport:
     from :func:`archive_pages`).  A found image is written straight
     through the pager — displacing any cached frame — and re-verified;
     pages with no recoverable image are recorded in
-    ``quarantine.json``.  Mutates and returns ``report``.
+    ``quarantine.json``.  Orphaned staged segments (aborted patches,
+    see :class:`OrphanSegment`) are reclaimed outright — segment plus
+    stale sidecars — since no committed state references them.
+    Mutates and returns ``report``.
     """
     report.repair_attempted = True
+    for orphan in report.orphans:
+        database.remove_segment(orphan.segment)
+        orphan.removed = True
+    for prefix in {
+        f"{orphan.prefix}@{orphan.epoch}" for orphan in report.orphans
+    }:
+        for sidecar in ("dm_meta.json", "clusters.json"):
+            stale = Path(database.path) / f"{prefix}_{sidecar}"
+            if stale.exists():
+                stale.unlink()
     wal = WriteAheadLog(database.path, database.page_size)
     records = wal.committed_records()
     images: dict[tuple[str, int], bytes] = {}
@@ -575,15 +700,19 @@ def inject_corruption(
     seed: int = 0,
     kinds: tuple[str, ...] = CORRUPTION_KINDS,
     page_size: int = DEFAULT_PAGE_SIZE,
+    segments: "tuple[str, ...] | None" = None,
 ) -> list[tuple[str, int, str]]:
     """Corrupt ``n_pages`` distinct on-disk pages (a scrub drill).
 
     Picks pages uniformly at random (seeded) across every segment file
     and damages each with a random kind from ``kinds``.  Works on the
     raw files — the database must be closed — and guarantees each
-    damaged page fails v2 verification.  Returns
-    ``(segment, page, kind)`` for every page hit, so drills can assert
-    the scrub finds *exactly* the injected set.
+    damaged page fails v2 verification.  ``segments`` restricts the
+    candidate pool to the named segments (the crash matrix uses it to
+    damage only a patch's staged shadow segments, leaving committed
+    state intact).  Returns ``(segment, page, kind)`` for every page
+    hit, so drills can assert the scrub finds *exactly* the injected
+    set.
     """
     directory = Path(directory)
     if n_pages < 1:
@@ -595,6 +724,8 @@ def inject_corruption(
         )
     pages: list[tuple[Path, int]] = []
     for seg_path in sorted(directory.glob("*.seg")):
+        if segments is not None and seg_path.stem not in segments:
+            continue
         count = seg_path.stat().st_size // page_size
         pages.extend((seg_path, page_no) for page_no in range(count))
     if n_pages > len(pages):

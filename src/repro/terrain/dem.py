@@ -11,7 +11,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.errors import DatasetError
+from repro.errors import DatasetError, PatchError
+from repro.geometry.primitives import Rect
 from repro.mesh.trimesh import TriMesh
 from repro.terrain.gridfield import GridField
 
@@ -76,6 +77,78 @@ class DEM:
         zs = self.field.sample_many(xs, ys)
         points = list(zip(xs.tolist(), ys.tolist(), zs.tolist()))
         return TriMesh.from_points(points)
+
+    # -- mutation -----------------------------------------------------------
+
+    def apply_patch(self, region: Rect, heights: np.ndarray) -> Rect:
+        """Overwrite the grid samples inside ``region`` with ``heights``.
+
+        ``region`` must be grid-aligned — its corners must land exactly
+        on grid sample positions — and ``heights`` must have exactly
+        the shape of the covered sample window (``rows x cols``, row 0
+        at ``region.min_y``).  Every violation raises
+        :class:`~repro.errors.PatchError` *before* any sample is
+        touched, so a rejected patch never leaves the grid
+        half-updated.
+
+        Returns the patched region (echoed back) so callers can feed
+        it straight into the store-mutation layer.
+        """
+        field = self.field
+        bounds = field.bounds()
+        if not (
+            region.min_x < region.max_x and region.min_y < region.max_y
+        ):
+            raise PatchError(
+                "patch region has zero or negative area",
+                region=region.as_tuple(),
+            )
+        if not bounds.contains_rect(region):
+            raise PatchError(
+                "patch region lies outside the grid extent",
+                region=region.as_tuple(),
+                bounds=bounds.as_tuple(),
+            )
+        ox, oy = field.origin
+        cell = field.cell_size
+        edges = []
+        for value, org in (
+            (region.min_x, ox), (region.min_y, oy),
+            (region.max_x, ox), (region.max_y, oy),
+        ):
+            frac = (value - org) / cell
+            snapped = round(frac)
+            if abs(frac - snapped) > 1e-9:
+                raise PatchError(
+                    "patch region is not grid-aligned",
+                    region=region.as_tuple(),
+                    origin=field.origin,
+                    cell_size=cell,
+                )
+            edges.append(int(snapped))
+        c0, r0, c1, r1 = edges
+        heights = np.asarray(heights)
+        if not np.issubdtype(heights.dtype, np.number):
+            raise PatchError(
+                f"patch heights must be numeric, got dtype {heights.dtype}",
+                region=region.as_tuple(),
+            )
+        expected = (r1 - r0 + 1, c1 - c0 + 1)
+        if heights.shape != expected:
+            raise PatchError(
+                "patch heights do not match the covered sample window",
+                region=region.as_tuple(),
+                expected_shape=expected,
+                actual_shape=heights.shape,
+            )
+        heights = heights.astype(np.float64)
+        if not np.all(np.isfinite(heights)):
+            raise PatchError(
+                "patch heights contain non-finite values",
+                region=region.as_tuple(),
+            )
+        field.heights[r0 : r1 + 1, c0 : c1 + 1] = heights
+        return region
 
     # -- convenience ------------------------------------------------------------
 

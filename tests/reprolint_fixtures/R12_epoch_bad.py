@@ -1,0 +1,27 @@
+# reprolint-fixture: path=src/repro/core/demo_epoch.py
+# The engine's (store, epoch) slot is swapped by patch commits; any
+# method that dereferences self._snap directly — worse, twice — can
+# see two different epochs inside one request.  R12 confines the slot
+# to __init__/pinned_snapshot/install_store.
+
+
+class MiniEngine:
+    def __init__(self, store) -> None:
+        self._snap = (store, 0)
+
+    def pinned_snapshot(self):
+        return self._snap
+
+    def install_store(self, store, epoch) -> None:
+        self._snap = (store, epoch)
+
+    def submit(self, box):
+        # Two dereferences: the store consulted for planning and the
+        # epoch stamped on the answer may disagree across a commit.
+        records = self._snap[0].search(box)  # [R12]
+        return records, self._snap[1]  # [R12]
+
+    def rebind(self, store) -> None:
+        # A write outside install_store dodges cache invalidation and
+        # session resync entirely.
+        self._snap = (store, 99)  # [R12]

@@ -1,0 +1,28 @@
+# reprolint-fixture: path=src/repro/core/demo_epoch_fixed.py
+# The fixed form: submit() pins the snapshot exactly once through
+# pinned_snapshot() and threads the frozen value; only the three
+# sanctioned methods ever touch the slot.  A class with no _snap slot
+# (Plain) is out of scope entirely.
+
+
+class MiniEngine:
+    def __init__(self, store) -> None:
+        self._snap = (store, 0)
+
+    def pinned_snapshot(self):
+        return self._snap
+
+    def install_store(self, store, epoch) -> None:
+        self._snap = (store, epoch)
+
+    def submit(self, box):
+        snap = self.pinned_snapshot()
+        return snap[0].search(box), snap[1]
+
+
+class Plain:
+    def __init__(self) -> None:
+        self._snapshot = None
+
+    def read(self):
+        return self._snapshot

@@ -421,3 +421,42 @@ class TestExplainClusterView:
         assert view.decode_hits + view.decode_misses == view.candidates
         text = explanation.to_text()
         assert "cluster path" in text and "overfetch" in text
+
+
+class TestClusterCacheRegions:
+    """Epoch keys and extent-based spatial invalidation (patches)."""
+
+    def test_epoch_keys_do_not_collide(self):
+        cache = ClusterCache(max_bytes=1 << 20)
+        old, new = _columns(8), _columns(8, seed=9)
+        cache.put(3, old, 0)
+        cache.put(3, new, 1)
+        assert cache.get(3, 0) is old
+        assert cache.get(3, 1) is new
+
+    def test_region_invalidation_uses_extents(self):
+        cache = ClusterCache(max_bytes=1 << 20)
+        near = Box3(0.0, 0.0, 0.0, 4.0, 4.0, 1.0)
+        far = Box3(50.0, 50.0, 0.0, 60.0, 60.0, 1.0)
+        cache.put(0, _columns(4), 0, extent=near)
+        cache.put(1, _columns(4, seed=1), 0, extent=far)
+        cache.invalidate(Rect(2.0, 2.0, 8.0, 8.0))
+        assert cache.get(0, 0) is None
+        assert cache.get(1, 0) is not None
+        assert cache.stats().region_invalidations == 1
+
+    def test_unknown_extent_fails_closed(self):
+        cache = ClusterCache(max_bytes=1 << 20)
+        cache.put(0, _columns(4), 0)  # No extent recorded.
+        cache.invalidate(Rect(90.0, 90.0, 99.0, 99.0))
+        assert cache.get(0, 0) is None
+
+    def test_non_overlapping_old_epoch_entries_survive_commit(self):
+        cache = ClusterCache(max_bytes=1 << 20)
+        far = Box3(50.0, 50.0, 0.0, 60.0, 60.0, 1.0)
+        cache.put(7, _columns(4), 0, extent=far)
+        cache.invalidate(Rect(0.0, 0.0, 10.0, 10.0))  # Patch commit.
+        # Cluster ids are not stable across epochs, so the surviving
+        # entry stays keyed to epoch 0 — and stays servable there.
+        assert cache.get(7, 0) is not None
+        assert cache.get(7, 1) is None

@@ -99,6 +99,7 @@ def test_rule_ids_are_stable() -> None:
         "R9",
         "R10",
         "R11",
+        "R12",
     ]
 
 
@@ -242,6 +243,7 @@ def test_cli_list_rules() -> None:
         "R9",
         "R10",
         "R11",
+        "R12",
     ):
         assert rule_id in result.stdout
 

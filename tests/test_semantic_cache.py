@@ -324,3 +324,65 @@ class TestEngineWithCache:
         with QueryEngine(store, workers=2) as engine:
             vector = _node_ids(engine.run_batch(requests))
         assert scalar == vector
+
+
+class TestRegionInvalidation:
+    """Spatial invalidation (patch commits): entries overlapping the
+    patched region die, everything else survives — including across
+    epochs."""
+
+    def test_overlapping_entries_dropped_others_survive(self):
+        cache = SemanticCache(1 << 20)
+        cache.insert(BOX, make_columns(5))
+        cache.insert(DISJOINT, make_columns(5, seed=1))
+        cache.invalidate(Rect(1.0, 1.0, 5.0, 5.0))  # Overlaps BOX only.
+        assert cache.lookup(BOX) is None
+        assert cache.lookup(DISJOINT) is not None
+        assert cache.stats().region_invalidations == 1
+
+    def test_full_invalidate_still_clears_everything(self):
+        cache = SemanticCache(1 << 20)
+        cache.insert(BOX, make_columns(5))
+        cache.insert(DISJOINT, make_columns(5, seed=1))
+        cache.invalidate()
+        assert cache.lookup(BOX) is None
+        assert cache.lookup(DISJOINT) is None
+
+    def test_begin_epoch_drops_overlap_and_keeps_rest(self):
+        cache = SemanticCache(1 << 20)
+        cache.insert(BOX, make_columns(5), epoch=0)
+        cache.insert(DISJOINT, make_columns(5, seed=1), epoch=0)
+        cache.begin_epoch(1, Rect(1.0, 1.0, 5.0, 5.0))
+        # The non-overlapping epoch-0 cube is still a sound answer for
+        # epoch-1 readers: the patch never touched its region.
+        assert cache.lookup(DISJOINT, epoch=1) is not None
+        assert cache.lookup(BOX, epoch=1) is None
+
+    def test_new_epoch_entry_invisible_to_pinned_old_reader(self):
+        cache = SemanticCache(1 << 20)
+        cache.begin_epoch(1, Rect(0.0, 0.0, 10.0, 10.0))
+        cache.insert(BOX, make_columns(5), epoch=1)
+        assert cache.lookup(BOX, epoch=1) is not None
+        # A reader still pinned to epoch 0 must not see epoch-1 data.
+        assert cache.lookup(BOX, epoch=0) is None
+
+    def test_stale_epoch_insert_refused_inside_patched_region(self):
+        cache = SemanticCache(1 << 20)
+        cache.begin_epoch(1, Rect(0.0, 0.0, 10.0, 10.0))
+        # An in-flight epoch-0 probe finishing after the commit must
+        # not publish pre-patch records over the patched region...
+        assert not cache.insert(BOX, make_columns(5), epoch=0)
+        assert cache.lookup(BOX, epoch=0) is None
+        # ...but may still publish cubes the patch never touched.
+        assert cache.insert(DISJOINT, make_columns(5, seed=1), epoch=0)
+
+    def test_patch_log_overflow_fails_closed(self):
+        from repro.core.cache import PATCH_LOG_LIMIT
+
+        cache = SemanticCache(1 << 20)
+        cache.insert(DISJOINT, make_columns(5), epoch=0)
+        for i in range(PATCH_LOG_LIMIT + 1):
+            cache.begin_epoch(i + 1, Rect(0.0, 0.0, 1.0, 1.0))
+        # Overflow clears the cache outright rather than letting the
+        # staleness check under-approximate.
+        assert cache.lookup(DISJOINT, epoch=PATCH_LOG_LIMIT + 1) is None

@@ -10,6 +10,7 @@ page contents), not timings.
 
 import random
 import threading
+import time
 
 import pytest
 
@@ -266,3 +267,137 @@ class TestEngineUnderFaults:
             assert injector.corruptions_injected > 0
             assert len(engine.quarantine) <= engine.quarantine.capacity
             assert db.crc_failures == injector.corruptions_injected
+
+
+class TestReadersAcrossPatchCommits:
+    """8 reader threads race 20 live patch commits.
+
+    Every outcome must match the exact snapshot its pinned epoch
+    names — never a hybrid of two epochs, never an epoch that was
+    never committed.  The truth table is built by the writer as it
+    goes: after each commit it queries the (single-writer) store
+    directly and records the digest for that epoch.
+    """
+
+    GRID = 17
+    TILE_VERTS = 9
+    N_PATCHES = 20
+    LOD_FRACTION = 0.6
+
+    def test_every_read_lands_on_a_committed_snapshot(self, tmp_path):
+        import numpy as np
+
+        from repro.core.cache import SemanticCache
+        from repro.core.mutate import MutableStore
+        from repro.terrain.dem import DEM
+        from repro.terrain.gridfield import GridField
+
+        rng = np.random.default_rng(17)
+        dem = DEM(
+            GridField(
+                rng.uniform(0.0, 30.0, (self.GRID, self.GRID)),
+                cell_size=1.0,
+            )
+        )
+        extent = dem.field.bounds()
+        db = Database(tmp_path / "db")
+        ms = MutableStore.build(
+            dem, db, prefix="dm", tile_verts=self.TILE_VERTS
+        )
+        lod = ms.store.max_lod * self.LOD_FRACTION
+
+        def digest(store):
+            result = store.uniform_query(extent, lod)
+            return {
+                nid: (r.x, r.y, r.z, tuple(r.connections))
+                for nid, r in result.nodes.items()
+            }
+
+        truth = {0: digest(ms.store)}
+        truth_lock = threading.Lock()
+        engine = QueryEngine(
+            ms.store,
+            epoch=ms.epoch,
+            workers=STRESS_WORKERS,
+            cache=SemanticCache(1 << 22),
+        )
+        ms.attach(engine)
+        request = UniformRequest(extent, lod)
+        stop = threading.Event()
+        failures: list[str] = []
+
+        def reader(seed: int) -> None:
+            while not stop.is_set():
+                outcome = engine.submit(request).result()
+                if not outcome.ok:
+                    failures.append(f"reader error: {outcome.error!r}")
+                    return
+                epoch = outcome.metrics.epoch
+                # The engine swaps snapshots before apply_patch
+                # returns to the writer, so a reader can pin the new
+                # epoch a beat before the writer records its digest:
+                # wait it out (bounded) before calling foul.
+                expected = None
+                deadline = time.monotonic() + 10.0
+                while expected is None and time.monotonic() < deadline:
+                    with truth_lock:
+                        expected = truth.get(epoch)
+                    if expected is None:
+                        time.sleep(0.005)
+                if expected is None:
+                    failures.append(
+                        f"served epoch {epoch} before/without commit"
+                    )
+                    return
+                got = {
+                    nid: (r.x, r.y, r.z, tuple(r.connections))
+                    for nid, r in outcome.result.nodes.items()
+                }
+                if got != expected:
+                    failures.append(
+                        f"epoch {epoch}: result is not that epoch's "
+                        f"snapshot ({len(got)} vs {len(expected)} nodes)"
+                    )
+                    return
+                # A beat of backoff: zero-sleep readers starve the
+                # writer thread under the GIL (one patch can take
+                # minutes), without making the race any more likely.
+                time.sleep(0.001)
+
+        threads = [
+            threading.Thread(target=reader, args=(i,), daemon=True)
+            for i in range(STRESS_WORKERS)
+        ]
+        for thread in threads:
+            thread.start()
+        try:
+            prng = random.Random(29)
+            for i in range(self.N_PATCHES):
+                r0 = prng.randrange(0, self.GRID - 1)
+                c0 = prng.randrange(0, self.GRID - 1)
+                r1 = prng.randrange(r0 + 1, self.GRID)
+                c1 = prng.randrange(c0 + 1, self.GRID)
+                heights = np.random.default_rng(100 + i).uniform(
+                    0.0, 30.0, (r1 - r0 + 1, c1 - c0 + 1)
+                )
+                report = ms.apply_patch(
+                    Rect(float(c0), float(r0), float(c1), float(r1)),
+                    heights,
+                )
+                # Record the new truth *after* the commit flipped: a
+                # reader that pinned the new epoch can only have done
+                # so after install_store, which this ordering covers
+                # (digest reads the single-writer handle, no racing
+                # mutation is possible).
+                with truth_lock:
+                    truth[report.to_epoch] = digest(ms.store)
+                if failures:
+                    break
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=30)
+            engine.close()
+            db.close()
+        assert not failures, failures[0]
+        assert ms.epoch == self.N_PATCHES or failures

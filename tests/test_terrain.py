@@ -191,3 +191,99 @@ class TestDatasets:
 
         with pytest.raises(DatasetError):
             dataset_by_name("atlantis")
+
+
+class TestDEMPatchValidation:
+    """apply_patch must reject malformed patches atomically: every
+    error raises PatchError with actionable context and leaves the
+    grid untouched (no half-applied patch)."""
+
+    def _dem(self) -> DEM:
+        return DEM(GridField(np.zeros((9, 9)), cell_size=2.0))
+
+    def _assert_rejected(self, dem, region, heights, fragment):
+        from repro.errors import PatchError
+
+        before = dem.field.heights.copy()
+        with pytest.raises(PatchError) as excinfo:
+            dem.apply_patch(region, heights)
+        assert fragment in str(excinfo.value)
+        assert excinfo.value.context.get("region") is not None
+        np.testing.assert_array_equal(dem.field.heights, before)
+
+    def test_zero_area_region(self):
+        from repro.geometry.primitives import Rect
+
+        dem = self._dem()
+        self._assert_rejected(
+            dem, Rect(4.0, 4.0, 4.0, 8.0), np.zeros((3, 1)), "zero"
+        )
+        self._assert_rejected(
+            dem, Rect(4.0, 8.0, 8.0, 8.0), np.zeros((1, 3)), "zero"
+        )
+        self._assert_rejected(
+            dem, Rect(4.0, 4.0, 4.0, 4.0), np.zeros((1, 1)), "zero"
+        )
+
+    def test_region_outside_bounds(self):
+        from repro.geometry.primitives import Rect
+
+        dem = self._dem()
+        self._assert_rejected(
+            dem, Rect(12.0, 0.0, 20.0, 4.0), np.zeros((3, 5)), "outside"
+        )
+
+    def test_off_grid_region(self):
+        from repro.geometry.primitives import Rect
+
+        dem = self._dem()  # cell_size 2.0: odd coordinates are off-grid
+        self._assert_rejected(
+            dem, Rect(1.0, 0.0, 5.0, 4.0), np.zeros((3, 3)), "aligned"
+        )
+        self._assert_rejected(
+            dem, Rect(0.0, 0.0, 4.0 + 1e-4, 4.0), np.zeros((3, 3)), "aligned"
+        )
+
+    def test_shape_mismatch(self):
+        from repro.geometry.primitives import Rect
+
+        dem = self._dem()
+        self._assert_rejected(
+            dem, Rect(0.0, 0.0, 4.0, 4.0), np.zeros((2, 2)), "window"
+        )
+
+    def test_non_numeric_and_non_finite(self):
+        from repro.geometry.primitives import Rect
+
+        dem = self._dem()
+        self._assert_rejected(
+            dem,
+            Rect(0.0, 0.0, 2.0, 2.0),
+            np.array([["a", "b"], ["c", "d"]]),
+            "numeric",
+        )
+        bad = np.zeros((2, 2))
+        bad[0, 1] = np.nan
+        self._assert_rejected(
+            dem, Rect(0.0, 0.0, 2.0, 2.0), bad, "finite"
+        )
+
+    def test_valid_patch_applies_and_echoes_region(self):
+        from repro.geometry.primitives import Rect
+
+        dem = self._dem()
+        region = Rect(2.0, 4.0, 6.0, 8.0)
+        echoed = dem.apply_patch(region, np.full((3, 3), 7.5))
+        assert echoed is region
+        np.testing.assert_array_equal(
+            dem.field.heights[2:5, 1:4], np.full((3, 3), 7.5)
+        )
+        assert float(dem.field.heights.sum()) == pytest.approx(9 * 7.5)
+
+    def test_tolerates_float_jitter_on_grid_points(self):
+        from repro.geometry.primitives import Rect
+
+        dem = self._dem()
+        region = Rect(2.0 + 1e-12, 4.0, 6.0, 8.0 - 1e-12)
+        dem.apply_patch(region, np.full((3, 3), 1.0))
+        assert float(dem.field.heights.sum()) == pytest.approx(9.0)

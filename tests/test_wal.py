@@ -241,3 +241,167 @@ class TestWalUnit:
         with Database(tmp_path / "db") as db:
             store = DirectMeshStore.open(db)
             assert verify_store(store).ok
+
+
+class TestPatchCrashMatrix:
+    """Atomicity of the typed patch-record family (kinds 3/4).
+
+    A committed patch log — begin header, three staged page images,
+    patch-commit marker — is truncated at every record boundary and
+    mid-record, and corrupted inside every record.  Recovery must land
+    on exactly one of the two snapshots: fully replayed (pages applied
+    AND the store epoch flipped) or fully discarded (pages untouched
+    AND the epoch still at 0).  A half-state — pages without the flip,
+    or the flip without the pages — is the bug this family exists to
+    make impossible.
+    """
+
+    PAGE_SIZE = 8192
+    N_PAGES = 3
+    SEGMENT = "t@1_nodes"
+
+    def _prepare(self, tmp_path) -> tuple:
+        path = tmp_path / "db"
+        with Database(path) as db:
+            seg = db.segment(self.SEGMENT)
+            for _ in range(self.N_PAGES):
+                seg.allocate()
+        header = {
+            "prefix": "t",
+            "from_epoch": 0,
+            "to_epoch": 1,
+            "region": [0.0, 0.0, 4.0, 4.0],
+            "segments": [self.SEGMENT],
+        }
+        wal = WriteAheadLog(path, self.PAGE_SIZE)
+        boundaries = []
+        wal.begin_patch(header)
+        boundaries.append(wal.path.stat().st_size)
+        for page_no in range(self.N_PAGES):
+            image = bytearray(self.PAGE_SIZE)
+            image[:4] = bytes([page_no + 1] * 4)
+            wal.log_page(self.SEGMENT, page_no, bytes(image))
+            boundaries.append(wal.path.stat().st_size)
+        wal.commit_patch(header)
+        boundaries.append(wal.path.stat().st_size)
+        wal.close(discard=False)
+        return path, (path / WAL_FILENAME).read_bytes(), boundaries
+
+    def _recover_and_classify(self, path, raw: bytes) -> str:
+        (path / WAL_FILENAME).write_bytes(raw)
+        with Database(path) as db:
+            assert not (path / WAL_FILENAME).exists()
+            epoch = db.store_epoch("t")
+            seg = db.segment(self.SEGMENT)
+            heads = [bytes(seg.fetch(p)[:4]) for p in range(self.N_PAGES)]
+        applied = [
+            heads[p] == bytes([p + 1] * 4) for p in range(self.N_PAGES)
+        ]
+        untouched = [head == b"\x00" * 4 for head in heads]
+        assert all(applied) or all(untouched), f"partial replay: {applied}"
+        if all(applied):
+            assert epoch == 1, "pages replayed but epoch never flipped"
+            return "replayed"
+        assert epoch == 0, "epoch flipped without the pages"
+        return "discarded"
+
+    def test_full_log_replays_and_flips(self, tmp_path):
+        path, raw, boundaries = self._prepare(tmp_path)
+        assert len(raw) == boundaries[-1]
+        assert self._recover_and_classify(path, raw) == "replayed"
+
+    @pytest.mark.parametrize("boundary", range(5), ids=lambda b: f"after-{b}")
+    def test_truncation_at_record_boundaries(self, tmp_path, boundary):
+        # Cutting after the begin header, or after any staged page,
+        # leaves no commit marker: everything must be discarded.  Only
+        # boundary 4 (the full log) may replay — covered above.
+        path, raw, boundaries = self._prepare(tmp_path)
+        cut = boundaries[boundary]
+        if cut == len(raw):
+            return
+        outcome = self._recover_and_classify(path, raw[:cut])
+        assert outcome == "discarded"
+
+    @pytest.mark.parametrize("record", range(5), ids=lambda r: f"record-{r}")
+    def test_mid_record_truncation(self, tmp_path, record):
+        path, raw, boundaries = self._prepare(tmp_path)
+        start = 0 if record == 0 else boundaries[record - 1]
+        end = boundaries[record]
+        cut = start + (end - start) // 2
+        outcome = self._recover_and_classify(path, raw[:cut])
+        assert outcome == "discarded"
+
+    @pytest.mark.parametrize("record", range(5), ids=lambda r: f"record-{r}")
+    def test_corruption_inside_any_record_discards(self, tmp_path, record):
+        # A flipped byte breaks that record's crc; the parse stops
+        # there, never reaches the commit marker, and recovery must
+        # discard — including a flip inside the commit marker itself.
+        path, raw, boundaries = self._prepare(tmp_path)
+        start = 0 if record == 0 else boundaries[record - 1]
+        damaged = bytearray(raw)
+        damaged[start + 13] ^= 0xFF
+        outcome = self._recover_and_classify(path, bytes(damaged))
+        assert outcome == "discarded"
+
+    def test_uncommitted_patch_leaves_orphan_segments(self, tmp_path):
+        # The discarded branch leaves the staged segment on disk with
+        # the committed epoch below its tag — exactly what fsck
+        # reports as an orphan, distinct from corruption.
+        from repro.storage.integrity import scrub_database
+
+        path, raw, boundaries = self._prepare(tmp_path)
+        assert self._recover_and_classify(path, raw[: boundaries[2]]) == (
+            "discarded"
+        )
+        with Database(path) as db:
+            report = scrub_database(db)
+        assert report.ok
+        assert report.orphan_segments == 1
+        assert report.orphans[0].segment == self.SEGMENT
+        assert report.orphans[0].epoch == 1
+        assert report.orphans[0].committed_epoch == 0
+
+
+class TestPatchWalUnit:
+    def test_begin_patch_validates_header(self, tmp_path):
+        wal = WriteAheadLog(tmp_path, 512)
+        with pytest.raises(StorageError):
+            wal.begin_patch({"prefix": "t", "to_epoch": 1})
+
+    def test_patch_header_readable_before_commit(self, tmp_path):
+        header = {
+            "prefix": "t",
+            "from_epoch": 0,
+            "to_epoch": 1,
+            "region": [0.0, 0.0, 1.0, 1.0],
+            "segments": ["t@1_nodes"],
+        }
+        wal = WriteAheadLog(tmp_path, 512)
+        wal.begin_patch(header)
+        wal.close(discard=False)
+        inspect = WriteAheadLog(tmp_path, 512)
+        assert inspect.patch_header() == header
+        assert inspect.committed_records() is None
+
+    def test_commit_marker_without_begin_header_discards(self, tmp_path):
+        # A kind-4 marker in a log that never carried the kind-3
+        # header is structurally invalid: the parse must refuse to
+        # treat it as committed (recovery would have no flip target).
+        wal = WriteAheadLog(tmp_path, 512)
+        wal.begin()
+        wal.log_page("t", 0, b"\x00" * 512)
+        wal._append_json(4, {"prefix": "t", "to_epoch": 1})
+        wal.close(discard=False)
+        inspect = WriteAheadLog(tmp_path, 512)
+        assert inspect.committed_records() is None
+
+    def test_plain_commit_does_not_carry_patch_header(self, tmp_path):
+        wal = WriteAheadLog(tmp_path, 512)
+        wal.begin()
+        wal.log_page("t", 0, b"\x01" * 512)
+        wal.commit()
+        wal.close(discard=False)
+        inspect = WriteAheadLog(tmp_path, 512)
+        assert inspect.patch_header() is None
+        records = inspect.committed_records()
+        assert records is not None and len(records) == 1
